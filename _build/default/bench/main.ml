@@ -1,0 +1,122 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index) and times the core
+   algorithms with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe               # full run, all experiments
+     dune exec bench/main.exe -- quick      # reduced trial counts
+     dune exec bench/main.exe -- fig5 fig7  # selected experiments
+     dune exec bench/main.exe -- micro      # Bechamel micro-benchmarks *)
+
+open Peel_experiments
+module Rng = Peel_util.Rng
+
+let experiments : (string * string * (Common.mode -> unit)) list =
+  [
+    ("fig1", "E1: Broadcast bandwidth, Ring/Tree vs optimal", Exp_fig1.run);
+    ("fig3", "E2: RSBF Bloom-filter header overhead", Exp_fig3.run);
+    ("fig4", "E3: Orca controller-overhead inflation", Exp_fig4.run);
+    ("fig5", "E4: CCT vs message size, all schemes", Exp_fig5.run);
+    ("fig6", "E5: CCT vs scale", Exp_fig6.run);
+    ("fig7", "E6: robustness to failures", Exp_fig7.run);
+    ("state", "E7: switch state and header accounting", Exp_state.run);
+    ("guard", "E8: DCQCN guard timer ablation", Exp_guard.run);
+    ("approx", "E9: greedy quality and aggregate bandwidth", Exp_approx.run);
+    ("frag", "E10: fragmentation ablation", Exp_frag.run);
+    ("collectives", "E11 (ext): PEEL inside larger collectives", Exp_collectives.run);
+    ("multipath", "E12 (ext): multicast vs multipath", Exp_multipath.run);
+    ("loss", "E13 (ext): loss and selective repeat", Exp_loss.run);
+    ("tenancy", "E14 (ext): concurrent jobs vs TCAM", Exp_tenancy.run);
+    ("rail", "E15 (ext): rail-optimized fabric", Exp_rail.run);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: the paper's complexity claims            *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let fabric = Common.fig5_fabric () in
+  let g = Peel_topology.Fabric.graph fabric in
+  let eps = Peel_topology.Fabric.endpoints fabric in
+  let members = List.init 256 (fun i -> eps.(128 + i)) in
+  let source = List.hd members in
+  let dests = List.tl members in
+  let rng = Rng.create 9 in
+  let tor_targets = List.init 24 (fun _ -> Rng.int rng 64) |> List.sort_uniq compare in
+  [
+    Test.make ~name:"layer_peel_tree_256_dests"
+      (Staged.stage (fun () ->
+           ignore (Peel_steiner.Layer_peel.build g ~source ~dests)));
+    Test.make ~name:"symmetric_optimal_tree_256_dests"
+      (Staged.stage (fun () ->
+           ignore (Peel_steiner.Symmetric.build fabric ~source ~dests)));
+    Test.make ~name:"peel_plan_256_dests"
+      (Staged.stage (fun () -> ignore (Peel.Plan.build fabric ~source ~dests)));
+    Test.make ~name:"exact_cover_m6_24_targets"
+      (Staged.stage (fun () ->
+           ignore (Peel_prefix.Cover.exact_cover ~m:6 tor_targets)));
+    Test.make ~name:"budgeted_cover_m6_b4"
+      (Staged.stage (fun () ->
+           ignore (Peel_prefix.Cover.budgeted_cover ~m:6 ~budget:4 tor_targets)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  Common.banner "Micro-benchmarks (Bechamel): tree construction is cheap";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~stabilize:true
+      ~quota:(Time.second 0.5) ()
+  in
+  let rows =
+    List.map
+      (fun test ->
+        let results = Benchmark.all cfg [ instance ] test in
+        let analyzed = Analyze.all ols instance results in
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            let ns =
+              match Analyze.OLS.estimates ols_result with
+              | Some (e :: _) -> e
+              | _ -> nan
+            in
+            [ name; Peel_util.Table.fsec (ns /. 1e9) ] :: acc)
+          analyzed []
+        |> List.concat)
+      (micro_tests ())
+  in
+  Peel_util.Table.print ~header:[ "algorithm"; "time per run" ]
+    (List.map
+       (fun row -> match row with [ a; b ] -> [ a; b ] | _ -> row)
+       (List.filter (fun r -> r <> []) rows))
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "quick" args in
+  let mode = if quick then Common.Quick else Common.Full in
+  let exp_names = List.map (fun (n, _, _) -> n) experiments in
+  let selections = List.filter (fun a -> a <> "quick") args in
+  let unknown =
+    List.filter (fun a -> a <> "micro" && a <> "all" && not (List.mem a exp_names))
+      selections
+  in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown experiment(s): %s\navailable: %s micro all quick\n"
+      (String.concat " " unknown)
+      (String.concat " " exp_names);
+    exit 2
+  end;
+  let run_all = selections = [] || List.mem "all" selections in
+  let wanted name = run_all || List.mem name selections in
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "PEEL benchmark harness (%s mode)\n"
+    (match mode with Common.Quick -> "quick" | Common.Full -> "full");
+  List.iter
+    (fun (name, _desc, f) -> if wanted name then f mode)
+    experiments;
+  if run_all || List.mem "micro" selections then run_micro ();
+  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

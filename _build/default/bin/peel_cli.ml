@@ -1,0 +1,287 @@
+(* peel-cli: command-line front end for the PEEL library.
+
+   Subcommands:
+     plan       — compute a multicast tree + prefix send plan for a group
+     simulate   — run Broadcast workloads through the simulator
+     state      — switch-state and header accounting for a fat-tree degree
+     experiment — regenerate a paper table/figure by name               *)
+
+open Cmdliner
+open Peel_topology
+open Peel_workload
+open Peel_collective
+module Rng = Peel_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fabric_term =
+  let kind =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("fat-tree", `Fat_tree); ("leaf-spine", `Leaf_spine);
+               ("rail", `Rail) ])
+          `Fat_tree
+      & info [ "fabric" ] ~docv:"KIND"
+          ~doc:"Fabric kind: fat-tree, leaf-spine or rail.")
+  in
+  let k =
+    Arg.(value & opt int 8 & info [ "k" ] ~docv:"K" ~doc:"Fat-tree arity (even).")
+  in
+  let spines =
+    Arg.(value & opt int 16 & info [ "spines" ] ~doc:"Leaf-spine: spine count.")
+  in
+  let leaves =
+    Arg.(value & opt int 48 & info [ "leaves" ] ~doc:"Leaf-spine: leaf count.")
+  in
+  let hosts =
+    Arg.(
+      value & opt int 4
+      & info [ "hosts" ] ~doc:"Servers per rack (fat-tree ToR or leaf).")
+  in
+  let gpus =
+    Arg.(value & opt int 8 & info [ "gpus" ] ~doc:"GPUs per server (0 = none).")
+  in
+  let make kind k spines leaves hosts gpus =
+    match kind with
+    | `Fat_tree -> Fabric.fat_tree ~k ~hosts_per_tor:hosts ~gpus_per_host:gpus ()
+    | `Leaf_spine ->
+        Fabric.leaf_spine ~spines ~leaves ~hosts_per_leaf:hosts
+          ~gpus_per_host:gpus ()
+    | `Rail ->
+        Fabric.rail ~rails:(max 1 gpus) ~groups:(max 1 (leaves / 6))
+          ~servers_per_group:hosts ~spines ()
+  in
+  Term.(const make $ kind $ k $ spines $ leaves $ hosts $ gpus)
+
+let seed_term =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (reproducible).")
+
+let scale_term =
+  Arg.(value & opt int 64 & info [ "scale" ] ~doc:"Collective size in GPUs.")
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let plan_cmd =
+  let failures =
+    Arg.(
+      value & opt float 0.0
+      & info [ "failures" ] ~doc:"Fraction of fabric links to fail first.")
+  in
+  let run fabric seed scale failures =
+    let rng = Rng.create seed in
+    if failures > 0.0 then begin
+      let failed =
+        Fabric.fail_random fabric ~rng ~tier:`All ~fraction:failures ()
+      in
+      Printf.printf "failed %d cables\n" (List.length failed)
+    end;
+    let members = Spec.place fabric rng ~scale () in
+    let source = List.hd members in
+    let dests = List.filter (fun m -> m <> source) members in
+    Printf.printf "fabric: %s\ngroup: %d GPUs, source node %d\n"
+      (Fabric.describe fabric) scale source;
+    (match Peel.multicast_tree fabric ~source ~dests with
+    | None -> print_endline "destinations unreachable!"
+    | Some tree ->
+        Printf.printf "tree: %d links, depth %d\n" (Peel.Tree.cost tree)
+          (Peel.Tree.max_depth tree));
+    let plan = Peel.plan fabric ~source ~dests in
+    Printf.printf "plan: %d packet(s), header %d B, %d rule(s) per switch (static)\n"
+      (Peel.Plan.num_packets plan) plan.Peel.Plan.header_bytes
+      (Peel.switch_rules fabric);
+    List.iter
+      (fun p ->
+        Printf.printf "  packet: %d pod(s), %d rack(s), %d endpoint(s)%s\n"
+          (List.length p.Peel.Plan.pods)
+          (List.length p.Peel.Plan.tors)
+          (List.length p.Peel.Plan.endpoints)
+          (match p.Peel.Plan.waste_tors with
+          | [] -> ""
+          | w -> Printf.sprintf ", %d rack(s) over-covered" (List.length w)))
+      plan.Peel.Plan.packets
+  in
+  Cmd.v (Cmd.info "plan" ~doc:"Compute a multicast tree and prefix send plan.")
+    Term.(const run $ fabric_term $ seed_term $ scale_term $ failures)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let scheme =
+    let parse s =
+      match Scheme.of_string s with
+      | Some x -> Ok x
+      | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+    in
+    let print fmt s = Format.pp_print_string fmt (Scheme.to_string s) in
+    Arg.(
+      value
+      & opt (list (conv (parse, print))) Scheme.all
+      & info [ "schemes" ] ~docv:"S1,S2"
+          ~doc:"Schemes: ring, tree, optimal, orca, peel, peel+cores.")
+  in
+  let size_mb =
+    Arg.(value & opt float 64.0 & info [ "size" ] ~doc:"Message size in MB.")
+  in
+  let load =
+    Arg.(value & opt float 0.3 & info [ "load" ] ~doc:"Offered load (0,1].")
+  in
+  let n =
+    Arg.(value & opt int 40 & info [ "n" ] ~doc:"Number of collectives.")
+  in
+  let run fabric seed scale schemes size_mb load n =
+    Printf.printf "fabric: %s; %d collectives of %d GPUs x %.0f MB at %.0f%% load\n\n"
+      (Fabric.describe fabric) n scale size_mb (load *. 100.0);
+    let rows =
+      List.map
+        (fun scheme ->
+          let cs =
+            Spec.poisson_broadcasts fabric (Rng.create seed) ~n ~scale
+              ~bytes:(size_mb *. 1e6) ~load ()
+          in
+          let s = Runner.summarize (Runner.run fabric scheme cs) in
+          [
+            Scheme.to_string scheme;
+            Peel_util.Table.fsec s.Peel_util.Stats.mean;
+            Peel_util.Table.fsec s.Peel_util.Stats.p50;
+            Peel_util.Table.fsec s.Peel_util.Stats.p99;
+            Peel_util.Table.fsec s.Peel_util.Stats.max;
+          ])
+        schemes
+    in
+    Peel_util.Table.print ~header:[ "scheme"; "mean"; "p50"; "p99"; "max" ] rows
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Simulate Broadcast workloads.")
+    Term.(
+      const run $ fabric_term $ seed_term $ scale_term $ scheme $ size_mb $ load $ n)
+
+(* ------------------------------------------------------------------ *)
+(* collective                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let collective_cmd =
+  let op =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("allgather", `Allgather); ("reduce", `Reduce);
+               ("allreduce", `Allreduce) ])
+          `Allreduce
+      & info [ "op" ] ~docv:"OP" ~doc:"Collective: allgather, reduce, allreduce.")
+  in
+  let size_mb =
+    Arg.(value & opt float 64.0 & info [ "size" ] ~doc:"Message size in MB.")
+  in
+  let run fabric seed scale op size_mb =
+    let rng = Rng.create seed in
+    let members = Spec.place fabric rng ~scale () in
+    let source = List.hd members in
+    let spec =
+      {
+        Spec.id = 0;
+        arrival = 0.0;
+        source;
+        dests = List.filter (fun m -> m <> source) members;
+        members;
+        bytes = size_mb *. 1e6;
+      }
+    in
+    Printf.printf "fabric: %s; %d workers x %.0f MB\n\n" (Fabric.describe fabric)
+      scale size_mb;
+    let rows =
+      match op with
+      | `Allgather ->
+          List.map
+            (fun algo ->
+              ( "allgather/" ^ Allgather.algo_to_string algo,
+                List.hd (Allgather.run fabric algo [ spec ]).Runner.ccts ))
+            [ Allgather.Ring_exchange; Allgather.Peel_multicast ]
+      | `Reduce ->
+          List.map
+            (fun algo ->
+              ( "reduce/" ^ Reduce.algo_to_string algo,
+                List.hd (Reduce.run fabric algo [ spec ]).Runner.ccts ))
+            [ Reduce.Ring_pass; Reduce.Btree_reduce ]
+      | `Allreduce ->
+          List.map
+            (fun algo ->
+              ( "allreduce/" ^ Allreduce.algo_to_string algo,
+                List.hd (Allreduce.run fabric algo [ spec ]).Runner.ccts ))
+            [ Allreduce.Ring_rs_ag; Allreduce.Reduce_then_peel ]
+    in
+    Peel_util.Table.print ~header:[ "algorithm"; "CCT" ]
+      (List.map (fun (name, cct) -> [ name; Peel_util.Table.fsec cct ]) rows)
+  in
+  Cmd.v
+    (Cmd.info "collective" ~doc:"Simulate allgather / reduce / allreduce.")
+    Term.(const run $ fabric_term $ seed_term $ scale_term $ op $ size_mb)
+
+(* ------------------------------------------------------------------ *)
+(* state                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let state_cmd =
+  let k = Arg.(value & pos 0 int 64 & info [] ~docv:"K") in
+  let run k =
+    Printf.printf
+      "k=%d fat-tree (%d hosts)\n  PEEL static rules per switch: %d\n  naive IP multicast: %.3e entries\n  reduction: %.1e x\n  header: %d bits (%d B)\n"
+      k (k * k * k / 4)
+      (Peel_prefix.Rules.peel_entries ~k)
+      (Peel_prefix.Rules.naive_ipmc_entries ~k)
+      (Peel_prefix.Rules.state_reduction_factor ~k)
+      (Peel_prefix.Header.header_bits ~k)
+      (Peel_prefix.Header.header_bytes ~k)
+  in
+  Cmd.v
+    (Cmd.info "state" ~doc:"Switch-state and header accounting for degree K.")
+    Term.(const run $ k)
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_cmd =
+  let open Peel_experiments in
+  let exps =
+    [
+      ("fig1", Exp_fig1.run); ("fig3", Exp_fig3.run); ("fig4", Exp_fig4.run);
+      ("fig5", Exp_fig5.run); ("fig6", Exp_fig6.run); ("fig7", Exp_fig7.run);
+      ("state", Exp_state.run); ("guard", Exp_guard.run);
+      ("approx", Exp_approx.run); ("frag", Exp_frag.run);
+      ("collectives", Exp_collectives.run); ("multipath", Exp_multipath.run);
+      ("loss", Exp_loss.run); ("tenancy", Exp_tenancy.run);
+      ("rail", Exp_rail.run);
+    ]
+  in
+  let exp_name =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun (n, _) -> (n, n)) exps))) None
+      & info [] ~docv:"NAME")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced trials.") in
+  let run exp_name quick =
+    let mode = if quick then Common.Quick else Common.Full in
+    (List.assoc exp_name exps) mode
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a paper table/figure by name.")
+    Term.(const run $ exp_name $ quick)
+
+let () =
+  let info =
+    Cmd.info "peel-cli" ~version:"0.1.0"
+      ~doc:"Scalable datacenter multicast for AI collectives (PEEL)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ plan_cmd; simulate_cmd; collective_cmd; state_cmd; experiment_cmd ]))

@@ -1,0 +1,1 @@
+examples/failure_drill.ml: Fabric Graph List Peel Peel_collective Peel_steiner Peel_topology Peel_util Peel_workload Printf Runner Scheme Spec

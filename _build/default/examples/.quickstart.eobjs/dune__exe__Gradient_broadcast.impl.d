@@ -1,0 +1,1 @@
+examples/gradient_broadcast.ml: Fabric Float List Option Peel Peel_baselines Peel_collective Peel_topology Peel_util Peel_workload Printf Runner Scheme Spec

@@ -1,0 +1,1 @@
+examples/state_budget.ml: Cover Header List Peel_baselines Peel_prefix Peel_util Printf Rules

@@ -1,0 +1,1 @@
+examples/training_step.ml: Allgather Allreduce Fabric Float List Peel_collective Peel_sim Peel_topology Peel_util Peel_workload Printf Reduce Runner Scheme Spec

@@ -1,0 +1,1 @@
+lib/baselines/binary_tree.ml: Array List

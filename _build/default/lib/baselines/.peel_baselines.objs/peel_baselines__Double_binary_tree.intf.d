@@ -1,0 +1,1 @@
+lib/baselines/double_binary_tree.mli: Peel_topology

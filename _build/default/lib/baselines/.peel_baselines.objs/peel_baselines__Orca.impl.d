@@ -1,0 +1,1 @@
+lib/baselines/orca.ml: Fabric Hashtbl Layer_peel List Option Peel_steiner Peel_topology Peel_util Symmetric Tree

@@ -1,0 +1,1 @@
+lib/baselines/orca.mli: Fabric Peel_steiner Peel_topology Peel_util Tree

@@ -1,0 +1,1 @@
+lib/baselines/traffic.ml: Array Graph List Peel_steiner Peel_topology

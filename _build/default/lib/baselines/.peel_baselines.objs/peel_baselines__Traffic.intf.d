@@ -1,0 +1,1 @@
+lib/baselines/traffic.mli: Graph Peel_steiner Peel_topology

@@ -1,0 +1,28 @@
+
+type t = { order : int array; edges : (int * int) list; depth : int }
+
+let schedule fabric ~source ~members =
+  ignore fabric;
+  let members = List.sort_uniq compare members in
+  if List.length members < 2 then
+    invalid_arg "Binary_tree.schedule: need at least two members";
+  if not (List.mem source members) then
+    invalid_arg "Binary_tree.schedule: source must be a member";
+  let arr = Array.of_list members in
+  let n = Array.length arr in
+  let src_pos = ref 0 in
+  Array.iteri (fun i v -> if v = source then src_pos := i) arr;
+  let order = Array.init n (fun i -> arr.((i + !src_pos) mod n)) in
+  let edges = ref [] in
+  for i = n - 1 downto 1 do
+    let parent = (i - 1) / 2 in
+    edges := (order.(parent), order.(i)) :: !edges
+  done;
+  let depth =
+    let rec lvl i acc = if i = 0 then acc else lvl ((i - 1) / 2) (acc + 1) in
+    lvl (n - 1) 0
+  in
+  { order; edges = !edges; depth }
+
+let children t v =
+  List.filter_map (fun (p, c) -> if p = v then Some c else None) t.edges

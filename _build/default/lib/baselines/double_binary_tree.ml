@@ -1,0 +1,71 @@
+type t = {
+  order : int array;
+  edges_a : (int * int) list;
+  edges_b : (int * int) list;
+}
+
+(* In-order binary tree over labels 1..m (NCCL's ncclGetBtree shape):
+   odd labels are leaves; an even label v with lowest set bit b has left
+   child v - b/2 and right child v + b/2 (halving the offset until it
+   fits under m).  The root is the highest power of two <= m. *)
+let btree_children m v =
+  if v land 1 = 1 then []
+  else begin
+    let b = v land -v in
+    let left = v - (b / 2) in
+    let rec fit_right off =
+      if off = 0 then None
+      else begin
+        let r = v + off in
+        if r <= m then Some r else fit_right (off / 2)
+      end
+    in
+    match fit_right (b / 2) with
+    | Some right -> [ left; right ]
+    | None -> [ left ]
+  end
+
+let btree_root m =
+  let rec go p = if p * 2 <= m then go (p * 2) else p in
+  go 1
+
+let schedule fabric ~source ~members =
+  ignore fabric;
+  let members = List.sort_uniq compare members in
+  if List.length members < 2 then
+    invalid_arg "Double_binary_tree.schedule: need at least two members";
+  if not (List.mem source members) then
+    invalid_arg "Double_binary_tree.schedule: source must be a member";
+  let arr = Array.of_list members in
+  let n = Array.length arr in
+  let src_pos = ref 0 in
+  Array.iteri (fun i v -> if v = source then src_pos := i) arr;
+  let order = Array.init n (fun i -> arr.((i + !src_pos) mod n)) in
+  let m = n - 1 in
+  (* Tree A lives directly on labels 1..m. *)
+  let edges_of label_map =
+    let edges = ref [] in
+    for v = 1 to m do
+      List.iter
+        (fun c -> edges := (order.(label_map v), order.(label_map c)) :: !edges)
+        (btree_children m v)
+    done;
+    (order.(0), order.(label_map (btree_root m))) :: List.rev !edges
+  in
+  let id v = v in
+  (* Tree B is the same structure on labels rotated by one, so interior
+     (even) positions of A become leaves of B. *)
+  let unshift v = if v = 1 then m else v - 1 in
+  { order; edges_a = edges_of id; edges_b = edges_of unshift }
+
+let max_fanout t =
+  let count edges v =
+    List.length (List.filter (fun (p, _) -> p = v) edges)
+  in
+  Array.fold_left
+    (fun acc v -> max acc (max (count t.edges_a v) (count t.edges_b v)))
+    0 t.order
+
+let send_load t v =
+  let count edges = List.length (List.filter (fun (p, _) -> p = v) edges) in
+  count t.edges_a + count t.edges_b

@@ -1,0 +1,44 @@
+open Peel_topology
+open Peel_steiner
+
+type plan = {
+  setup_delay : float;
+  tree : Tree.t;
+  relays : (int * int) list;
+}
+
+let setup_delay_mu = 0.010
+let setup_delay_sigma = 0.005
+
+let sample_setup_delay rng =
+  Peel_util.Rng.normal_pos rng ~mu:setup_delay_mu ~sigma:setup_delay_sigma
+
+let plan fabric ~rng ~source ~dests =
+  let dests = List.sort_uniq compare (List.filter (fun d -> d <> source) dests) in
+  (* Group destinations per server; the lowest-id member is the agent
+     and relays its siblings over NVLink. *)
+  let by_server = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      let server = Fabric.endpoint_host fabric d in
+      Hashtbl.replace by_server server
+        (d :: Option.value (Hashtbl.find_opt by_server server) ~default:[]))
+    dests;
+  let agents = ref [] and relays = ref [] in
+  Hashtbl.iter
+    (fun _server members ->
+      match List.sort compare members with
+      | [] -> ()
+      | agent :: rest ->
+          agents := agent :: !agents;
+          List.iter (fun m -> relays := (agent, m) :: !relays) rest)
+    by_server;
+  let agents = List.sort compare !agents in
+  let tree =
+    try Symmetric.build fabric ~source ~dests:agents
+    with Invalid_argument _ -> (
+      match Layer_peel.build (Fabric.graph fabric) ~source ~dests:agents with
+      | Some t -> t
+      | None -> failwith "Orca.plan: agents unreachable")
+  in
+  { setup_delay = sample_setup_delay rng; tree; relays = List.sort compare !relays }

@@ -1,0 +1,36 @@
+(** Analytic model of RSBF-style Bloom-filter multicast headers
+    (paper §3.1, Figure 3).
+
+    Bloom-filter schemes push the multicast tree into the packet: the
+    header encodes every (switch, outgoing port) pair of the tree in a
+    Bloom filter sized for a target false-positive ratio.  The filter
+    needs [log2(1/p) / ln 2 ~ 1.44 * log2(1/p)] bits per element, and
+    for a fabric-wide broadcast in a [k]-ary fat-tree the element count
+    grows like [k^3/4] — so the header blows through a 1500 B MTU in
+    the tens of [k] regardless of how generous [p] is, and the
+    surviving false positives additionally spray traffic onto links
+    outside the tree. *)
+
+val bits_per_element : fpr:float -> float
+(** Optimal Bloom-filter bits per element for false-positive rate
+    [fpr] in (0, 1). *)
+
+val broadcast_tree_elements : k:int -> ?hosts_per_tor:int -> unit -> int
+(** Forwarding entries (directed down-links plus the up path) of a
+    fabric-wide broadcast tree in a [k]-ary fat-tree with
+    [hosts_per_tor] (default [k/2]) hosts per rack. *)
+
+val header_bytes : k:int -> fpr:float -> float
+(** Bloom-filter header size for a fabric-wide broadcast. *)
+
+val exceeds_mtu : k:int -> fpr:float -> ?mtu:int -> unit -> bool
+(** Default MTU 1500 B. *)
+
+val bandwidth_overhead : k:int -> fpr:float -> payload:int -> float
+(** Header bytes / payload bytes — the fraction of link capacity spent
+    on the header itself (>1 = more header than payload). *)
+
+val expected_false_positive_links : k:int -> fpr:float -> float
+(** Expected number of non-tree switch ports that falsely match the
+    filter during one broadcast — redundant traffic injected per
+    message. *)

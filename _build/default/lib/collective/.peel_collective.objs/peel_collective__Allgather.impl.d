@@ -1,0 +1,1 @@
+lib/collective/allgather.ml: Array Hashtbl List Paths Peel Peel_sim Peel_workload Runner Spec Transfer

@@ -1,0 +1,1 @@
+lib/collective/allgather.mli: Broadcast Fabric Paths Peel_sim Peel_topology Peel_workload Runner Spec

@@ -1,0 +1,1 @@
+lib/collective/allreduce.ml: Array Broadcast Engine Hashtbl List Paths Peel Peel_sim Peel_workload Reduce Runner Spec Transfer

@@ -1,0 +1,1 @@
+lib/collective/broadcast.ml: Array Dcqcn Engine Fun Hashtbl List Option Paths Peel Peel_baselines Peel_sim Peel_steiner Peel_topology Peel_util Peel_workload Scheme Spec Transfer

@@ -1,0 +1,1 @@
+lib/collective/broadcast.mli: Engine Fabric Link_state Paths Peel_sim Peel_topology Peel_util Peel_workload Scheme Spec

@@ -1,0 +1,1 @@
+lib/collective/paths.ml: Fabric Graph Hashtbl Peel_sim Peel_topology

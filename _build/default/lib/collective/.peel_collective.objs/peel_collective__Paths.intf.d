@@ -1,0 +1,1 @@
+lib/collective/paths.mli: Fabric Peel_topology

@@ -1,0 +1,1 @@
+lib/collective/reduce.ml: Array Broadcast Engine List Paths Peel_baselines Peel_sim Peel_workload Runner Spec Transfer

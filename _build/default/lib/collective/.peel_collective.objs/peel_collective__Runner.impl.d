@@ -1,0 +1,1 @@
+lib/collective/runner.ml: Array Broadcast Engine Fabric Float Link_state List Paths Peel_sim Peel_topology Peel_util Peel_workload Printf Spec Telemetry

@@ -1,0 +1,1 @@
+lib/collective/runner.mli: Broadcast Fabric Paths Peel_sim Peel_topology Peel_util Peel_workload Scheme Spec

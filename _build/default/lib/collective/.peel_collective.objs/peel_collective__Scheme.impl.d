@@ -1,0 +1,1 @@
+lib/collective/scheme.ml: Printf String

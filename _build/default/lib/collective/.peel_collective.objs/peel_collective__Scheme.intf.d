@@ -1,0 +1,1 @@
+lib/collective/scheme.mli:

@@ -1,0 +1,38 @@
+(** Allgather: every member contributes a shard ([bytes / N]) and ends
+    holding all shards — the second collective the paper's motivation
+    cites (Khalilov et al., "bandwidth-optimal Broadcast and
+    Allgather").
+
+    Two algorithms:
+    - [Ring_exchange]: the NCCL ring — shard [s] travels [N-1]
+      consecutive logical hops, every link carries [(N-1)/N * bytes];
+    - [Peel_multicast]: every member multicasts its shard over its own
+      PEEL plan; each fabric link in a tree carries the shard once. *)
+
+open Peel_topology
+open Peel_workload
+
+type algo = Ring_exchange | Peel_multicast
+
+val algo_to_string : algo -> string
+
+val launch :
+  Peel_sim.Engine.t ->
+  Peel_sim.Link_state.t ->
+  Fabric.t ->
+  Paths.t ->
+  Broadcast.config ->
+  algo ->
+  spec:Spec.collective ->
+  on_complete:(float -> unit) ->
+  unit
+(** [spec.bytes] is the total gathered size; each member contributes
+    [bytes / N].  [spec.members] must have at least 2 entries.
+    [on_complete] fires when every member holds every shard. *)
+
+val run :
+  ?chunks:int ->
+  Fabric.t ->
+  algo ->
+  Spec.collective list ->
+  Runner.outcome

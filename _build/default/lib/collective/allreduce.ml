@@ -1,0 +1,88 @@
+open Peel_sim
+open Peel_workload
+
+type algo = Ring_rs_ag | Reduce_then_peel
+
+let algo_to_string = function
+  | Ring_rs_ag -> "ring"
+  | Reduce_then_peel -> "reduce+peel"
+
+let launch engine links fabric paths (cfg : Broadcast.config) algo
+    ~(spec : Spec.collective) ~on_complete =
+  let members = Array.of_list (List.sort_uniq compare spec.members) in
+  let n = Array.length members in
+  if n < 2 then invalid_arg "Allreduce.launch: need at least two members";
+  match algo with
+  | Ring_rs_ag ->
+      (* Shard s is reduced along positions s+1..s (n-1 hops), then
+         gathered along s..s+n-2 (n-1 more hops).  Each shard's chain is
+         independent; the collective is done when every chain ends. *)
+      let shard = spec.bytes /. float_of_int n in
+      let hop_links =
+        Array.init n (fun i -> Paths.links paths members.(i) members.((i + 1) mod n))
+      in
+      let chains = ref n in
+      let last = ref spec.arrival in
+      let rec pass hops_left pos t =
+        if hops_left = 0 then begin
+          if t > !last then last := t;
+          decr chains;
+          if !chains = 0 then on_complete (!last -. spec.arrival)
+        end
+        else
+          Transfer.unicast engine links ~links:hop_links.(pos) ~bytes:shard
+            ~start:t
+            ~on_delivered:(fun t' -> pass (hops_left - 1) ((pos + 1) mod n) t')
+            ()
+      in
+      Engine.schedule engine spec.arrival (fun () ->
+          for s = 0 to n - 1 do
+            pass (2 * (n - 1)) ((s + 1) mod n) spec.arrival
+          done)
+  | Reduce_then_peel ->
+      let chunks = cfg.Broadcast.chunks in
+      let chunk_bytes = spec.bytes /. float_of_int chunks in
+      let dests = List.filter (fun m -> m <> spec.source) spec.members in
+      let plan = Peel.Plan.build fabric ~source:spec.source ~dests in
+      let trees =
+        List.filter_map
+          (fun packet -> Peel.Plan.packet_tree fabric ~source:spec.source packet)
+          plan.Peel.Plan.packets
+      in
+      if trees = [] then failwith "Allreduce: empty PEEL plan";
+      let dest_set = Hashtbl.create (2 * n) in
+      List.iter (fun d -> Hashtbl.replace dest_set d ()) dests;
+      let remaining = ref (chunks * List.length dests) in
+      let reduce_done = ref false in
+      let last = ref spec.arrival in
+      let maybe_finish () =
+        if !remaining = 0 && !reduce_done then on_complete (!last -. spec.arrival)
+      in
+      let record time =
+        remaining := !remaining - 1;
+        if time > !last then last := time;
+        maybe_finish ()
+      in
+      (* Each chunk's broadcast launches the moment its reduction
+         reaches the root: the two phases pipeline. *)
+      Reduce.launch_with_chunk_hook engine links fabric paths cfg
+        Reduce.Btree_reduce ~spec
+        ~on_chunk:(fun _c t ->
+          List.iter
+            (fun tree ->
+              Transfer.multicast engine links ~tree ~bytes:chunk_bytes ~start:t
+                ~on_delivered:(fun ~node ~time ->
+                  if Hashtbl.mem dest_set node then record time)
+                ())
+            trees)
+        ~on_complete:(fun _ ->
+          reduce_done := true;
+          let now = Engine.now engine in
+          if now > !last then last := now;
+          maybe_finish ())
+
+let run ?chunks fabric algo collectives =
+  Runner.run_custom ?chunks fabric
+    ~launch:(fun engine links paths cfg ~spec ~on_complete ->
+      launch engine links fabric paths cfg algo ~spec ~on_complete)
+    collectives

@@ -1,0 +1,369 @@
+open Peel_sim
+open Peel_workload
+module Rng = Peel_util.Rng
+
+type cc = No_cc | Dcqcn of { guard : float option; ecn_delay : float }
+
+type config = {
+  chunks : int;
+  cc : cc;
+  rng : Rng.t;
+  controller : bool;
+  loss : Transfer.loss option;
+}
+
+let default_config ~rng =
+  { chunks = 8; cc = No_cc; rng; controller = true; loss = None }
+
+let nic_rate = 12.5e9
+let cnp_delay = 5e-6
+
+(* Tracks chunk deliveries at destinations; fires on_complete when every
+   destination has every chunk. *)
+type tracker = {
+  dest_set : (int, unit) Hashtbl.t;
+  mutable remaining : int;
+  mutable last : float;
+  arrival : float;
+  complete : float -> unit;
+}
+
+let make_tracker ~arrival ~dests ~chunks ~on_complete =
+  let dest_set = Hashtbl.create (List.length dests * 2) in
+  List.iter (fun d -> Hashtbl.replace dest_set d ()) dests;
+  {
+    dest_set;
+    remaining = chunks * List.length dests;
+    last = arrival;
+    arrival;
+    complete = on_complete;
+  }
+
+let record tracker node time =
+  if Hashtbl.mem tracker.dest_set node then begin
+    tracker.remaining <- tracker.remaining - 1;
+    if time > tracker.last then tracker.last <- time;
+    if tracker.remaining = 0 then tracker.complete (tracker.last -. tracker.arrival)
+  end
+
+(* Per-collective congestion control state: a DCQCN-lite sender limiter
+   plus per-chunk ECN mark flags and CNP wiring. *)
+type cc_state = {
+  ctrl : Dcqcn.t option;
+  ecn_delay : float;
+  marks : bool array; (* per chunk *)
+}
+
+let make_cc_state cfg =
+  match cfg.cc with
+  | No_cc -> { ctrl = None; ecn_delay = infinity; marks = [||] }
+  | Dcqcn { guard; ecn_delay } ->
+      {
+        ctrl = Some (Dcqcn.create ~guard ~line_rate:nic_rate ());
+        ecn_delay;
+        marks = Array.make cfg.chunks false;
+      }
+
+let on_reserve_for cc chunk =
+  match cc.ctrl with
+  | None -> None
+  | Some _ ->
+      Some
+        (fun ~link:_ ~queue_delay ->
+          if queue_delay > cc.ecn_delay then cc.marks.(chunk) <- true)
+
+(* A destination that received a marked chunk emits a CNP back to the
+   sender — one per receiver, which is the multicast implosion the
+   guard timer tames. *)
+let maybe_cnp engine cc chunk time =
+  match cc.ctrl with
+  | Some ctrl when cc.marks.(chunk) ->
+      Engine.schedule engine (time +. cnp_delay) (fun () ->
+          Dcqcn.on_cnp ctrl ~now:(Engine.now engine))
+  | _ -> ()
+
+(* Release chunks 0..chunks-1 from the source: back to back without
+   congestion control, paced by the current DCQCN rate with it. *)
+let release_chunks engine cfg cc ~start ~chunk_bytes ~send =
+  match cc.ctrl with
+  | None ->
+      Engine.schedule engine start (fun () ->
+          for c = 0 to cfg.chunks - 1 do
+            send c start
+          done)
+  | Some ctrl ->
+      let rec go c t =
+        if c < cfg.chunks then
+          Engine.schedule engine t (fun () ->
+              send c t;
+              let dt = Dcqcn.release_duration ctrl ~now:t ~bytes:chunk_bytes in
+              go (c + 1) (t +. dt))
+      in
+      go 0 start
+
+(* ------------------------------------------------------------------ *)
+(* Scheme bodies                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_ring engine links fabric paths cfg cc tracker (spec : Spec.collective)
+    ~chunk_bytes =
+  let r = Peel_baselines.Ring.schedule fabric ~source:spec.source ~members:spec.members in
+  let order = r.Peel_baselines.Ring.order in
+  let n = Array.length order in
+  let hop_links =
+    Array.init (n - 1) (fun i -> Paths.links paths order.(i) order.(i + 1))
+  in
+  let rec forward idx chunk t =
+    if idx < n - 1 then
+      Transfer.unicast engine links ~links:hop_links.(idx) ~bytes:chunk_bytes
+        ~start:t
+        ?on_reserve:(on_reserve_for cc chunk)
+        ?loss:cfg.loss
+        ~on_delivered:(fun t' ->
+          record tracker order.(idx + 1) t';
+          maybe_cnp engine cc chunk t';
+          forward (idx + 1) chunk t')
+        ()
+  in
+  release_chunks engine cfg cc ~start:spec.arrival ~chunk_bytes ~send:(fun c t ->
+      forward 0 c t)
+
+let run_btree engine links fabric paths cfg cc tracker (spec : Spec.collective)
+    ~chunk_bytes =
+  let bt =
+    Peel_baselines.Binary_tree.schedule fabric ~source:spec.source
+      ~members:spec.members
+  in
+  let order = bt.Peel_baselines.Binary_tree.order in
+  let n = Array.length order in
+  let rec forward pos chunk t =
+    List.iter
+      (fun child ->
+        if child < n then
+          Transfer.unicast engine links
+            ~links:(Paths.links paths order.(pos) order.(child))
+            ~bytes:chunk_bytes ~start:t
+            ?on_reserve:(on_reserve_for cc chunk)
+            ?loss:cfg.loss
+            ~on_delivered:(fun t' ->
+              record tracker order.(child) t';
+              maybe_cnp engine cc chunk t';
+              forward child chunk t')
+            ())
+      [ (2 * pos) + 1; (2 * pos) + 2 ]
+  in
+  release_chunks engine cfg cc ~start:spec.arrival ~chunk_bytes ~send:(fun c t ->
+      forward 0 c t)
+
+let run_dbtree engine links fabric paths cfg cc tracker (spec : Spec.collective)
+    ~chunk_bytes =
+  let dt =
+    Peel_baselines.Double_binary_tree.schedule fabric ~source:spec.source
+      ~members:spec.members
+  in
+  let children_map edges =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (p, c) ->
+        Hashtbl.replace tbl p (c :: Option.value (Hashtbl.find_opt tbl p) ~default:[]))
+      edges;
+    tbl
+  in
+  let tree_a = children_map dt.Peel_baselines.Double_binary_tree.edges_a in
+  let tree_b = children_map dt.Peel_baselines.Double_binary_tree.edges_b in
+  (* Even chunks ride tree A, odd chunks tree B: each rank is interior in
+     at most one tree, so per-rank send load stays ~1 message. *)
+  let rec forward tbl node chunk t =
+    List.iter
+      (fun child ->
+        Transfer.unicast engine links
+          ~links:(Paths.links paths node child)
+          ~bytes:chunk_bytes ~start:t
+          ?on_reserve:(on_reserve_for cc chunk)
+          ?loss:cfg.loss
+          ~on_delivered:(fun t' ->
+            record tracker child t';
+            maybe_cnp engine cc chunk t';
+            forward tbl child chunk t')
+          ())
+      (List.rev (Option.value (Hashtbl.find_opt tbl node) ~default:[]))
+  in
+  release_chunks engine cfg cc ~start:spec.arrival ~chunk_bytes ~send:(fun c t ->
+      let tbl = if c land 1 = 0 then tree_a else tree_b in
+      forward tbl spec.source c t)
+
+(* Multicast a chunk over a set of trees (PEEL sends one copy per prefix
+   packet; single-tree schemes pass one tree).  A receiver orphaned by a
+   dropped tree link NACKs after the RTO and the source repairs it with
+   a unicast retransmission — RDMA-style end-to-end selective repeat. *)
+let multicast_trees engine links cfg paths ~source cc tracker ~trees ~chunk
+    ~chunk_bytes ~start ~on_member =
+  let recover node time =
+    match cfg.loss with
+    | None -> ()
+    | Some l ->
+        if Hashtbl.mem tracker.dest_set node then begin
+          l.Transfer.retransmissions <- l.Transfer.retransmissions + 1;
+          Engine.schedule engine (time +. l.Transfer.rto) (fun () ->
+              Transfer.unicast engine links
+                ~links:(Paths.links paths source node)
+                ~bytes:chunk_bytes
+                ~start:(Engine.now engine)
+                ?loss:cfg.loss
+                ~on_delivered:(fun t' ->
+                  record tracker node t';
+                  maybe_cnp engine cc chunk t')
+                ())
+        end
+  in
+  List.iter
+    (fun tree ->
+      Transfer.multicast engine links ~tree ~bytes:chunk_bytes ~start
+        ?on_reserve:(on_reserve_for cc chunk)
+        ?loss:cfg.loss
+        ~on_lost:(fun ~node ~time -> recover node time)
+        ~on_delivered:(fun ~node ~time ->
+          record tracker node time;
+          if Hashtbl.mem tracker.dest_set node then
+            maybe_cnp engine cc chunk time;
+          on_member ~node ~time ~chunk)
+        ())
+    trees
+
+let no_member ~node:_ ~time:_ ~chunk:_ = ()
+
+let run_optimal engine links fabric paths cfg cc tracker
+    (spec : Spec.collective) ~chunk_bytes =
+  match Peel.multicast_tree fabric ~source:spec.source ~dests:spec.dests with
+  | None -> failwith "Broadcast: destinations unreachable (optimal)"
+  | Some tree ->
+      release_chunks engine cfg cc ~start:spec.arrival ~chunk_bytes
+        ~send:(fun c t ->
+          multicast_trees engine links cfg paths ~source:spec.source cc tracker
+            ~trees:[ tree ] ~chunk:c ~chunk_bytes ~start:t ~on_member:no_member)
+
+let run_orca engine links fabric paths cfg cc tracker (spec : Spec.collective)
+    ~chunk_bytes =
+  let plan =
+    Peel_baselines.Orca.plan fabric ~rng:cfg.rng ~source:spec.source
+      ~dests:spec.dests
+  in
+  let relays_of = Hashtbl.create 16 in
+  List.iter
+    (fun (agent, m) ->
+      Hashtbl.replace relays_of agent
+        (m :: Option.value (Hashtbl.find_opt relays_of agent) ~default:[]))
+    plan.Peel_baselines.Orca.relays;
+  let on_member ~node ~time ~chunk =
+    match Hashtbl.find_opt relays_of node with
+    | None -> ()
+    | Some members ->
+        List.iter
+          (fun m ->
+            Transfer.unicast engine links
+              ~links:(Paths.links paths node m)
+              ~bytes:chunk_bytes ~start:time
+              ?on_reserve:(on_reserve_for cc chunk)
+              ?loss:cfg.loss
+              ~on_delivered:(fun t' ->
+                record tracker m t';
+                maybe_cnp engine cc chunk t')
+              ())
+          members
+  in
+  let start =
+    spec.arrival
+    +. (if cfg.controller then plan.Peel_baselines.Orca.setup_delay else 0.0)
+  in
+  release_chunks engine cfg cc ~start ~chunk_bytes ~send:(fun c t ->
+      multicast_trees engine links cfg paths ~source:spec.source cc tracker
+        ~trees:[ plan.Peel_baselines.Orca.tree ]
+        ~chunk:c ~chunk_bytes ~start:t ~on_member)
+
+let peel_packet_trees fabric (spec : Spec.collective) =
+  let plan = Peel.Plan.build fabric ~source:spec.source ~dests:spec.dests in
+  List.filter_map
+    (fun packet -> Peel.Plan.packet_tree fabric ~source:spec.source packet)
+    plan.Peel.Plan.packets
+
+let run_peel engine links fabric paths cfg cc tracker (spec : Spec.collective)
+    ~chunk_bytes =
+  let trees = peel_packet_trees fabric spec in
+  if trees = [] then failwith "Broadcast: empty PEEL plan";
+  release_chunks engine cfg cc ~start:spec.arrival ~chunk_bytes
+    ~send:(fun c t ->
+      multicast_trees engine links cfg paths ~source:spec.source cc tracker
+        ~trees ~chunk:c ~chunk_bytes ~start:t ~on_member:no_member)
+
+let run_peel_prog engine links fabric paths cfg cc tracker
+    (spec : Spec.collective) ~chunk_bytes =
+  let peel_trees = peel_packet_trees fabric spec in
+  if peel_trees = [] then failwith "Broadcast: empty PEEL plan";
+  let refined =
+    match Peel.multicast_tree fabric ~source:spec.source ~dests:spec.dests with
+    | Some t -> [ t ]
+    | None -> peel_trees
+  in
+  let setup_done =
+    spec.arrival +. Peel_baselines.Orca.sample_setup_delay cfg.rng
+  in
+  let npackets = float_of_int (List.length peel_trees) in
+  release_chunks engine cfg cc ~start:spec.arrival ~chunk_bytes
+    ~send:(fun c t ->
+      (* Fast start on static prefixes; once the controller has
+         programmed the cores, remaining chunks ride the single-copy
+         refined tree.  Chunks queue on the source NIC, so chunk [c]'s
+         first byte leaves no earlier than c packet-copies later — use
+         that pacing estimate to decide which chunks see the refined
+         state. *)
+      let est_send = t +. (float_of_int c *. npackets *. chunk_bytes /. nic_rate) in
+      let trees = if est_send < setup_done then peel_trees else refined in
+      multicast_trees engine links cfg paths ~source:spec.source cc tracker
+        ~trees ~chunk:c ~chunk_bytes ~start:t ~on_member:no_member)
+
+let run_peel_multitree engine links fabric paths cfg cc tracker
+    (spec : Spec.collective) ~chunk_bytes ~ntrees =
+  (* N edge-diverse greedy trees (different salts); chunks stripe across
+     them round-robin — the §2.3 multicast-vs-multipath experiment. *)
+  let g = Peel_topology.Fabric.graph fabric in
+  let trees =
+    List.init ntrees (fun salt ->
+        Peel_steiner.Layer_peel.build ~salt g ~source:spec.source
+          ~dests:spec.dests)
+    |> List.filter_map Fun.id
+  in
+  if trees = [] then failwith "Broadcast: destinations unreachable (multitree)";
+  let trees = Array.of_list trees in
+  release_chunks engine cfg cc ~start:spec.arrival ~chunk_bytes
+    ~send:(fun c t ->
+      multicast_trees engine links cfg paths ~source:spec.source cc tracker
+        ~trees:[ trees.(c mod Array.length trees) ]
+        ~chunk:c ~chunk_bytes ~start:t ~on_member:no_member)
+
+let launch engine links fabric paths cfg scheme ~(spec : Spec.collective)
+    ~on_complete =
+  if cfg.chunks < 1 then invalid_arg "Broadcast.launch: chunks >= 1";
+  if spec.dests = [] then
+    Engine.schedule engine spec.arrival (fun () -> on_complete 0.0)
+  else begin
+    let tracker =
+      make_tracker ~arrival:spec.arrival ~dests:spec.dests ~chunks:cfg.chunks
+        ~on_complete
+    in
+    let cc = make_cc_state cfg in
+    let chunk_bytes = spec.bytes /. float_of_int cfg.chunks in
+    match scheme with
+    | Scheme.Ring -> run_ring engine links fabric paths cfg cc tracker spec ~chunk_bytes
+    | Scheme.Btree -> run_btree engine links fabric paths cfg cc tracker spec ~chunk_bytes
+    | Scheme.Dbtree -> run_dbtree engine links fabric paths cfg cc tracker spec ~chunk_bytes
+    | Scheme.Optimal ->
+        run_optimal engine links fabric paths cfg cc tracker spec ~chunk_bytes
+    | Scheme.Orca -> run_orca engine links fabric paths cfg cc tracker spec ~chunk_bytes
+    | Scheme.Peel ->
+        run_peel engine links fabric paths cfg cc tracker spec ~chunk_bytes
+    | Scheme.Peel_prog_cores ->
+        run_peel_prog engine links fabric paths cfg cc tracker spec ~chunk_bytes
+    | Scheme.Peel_multitree n ->
+        run_peel_multitree engine links fabric paths cfg cc tracker spec
+          ~chunk_bytes ~ntrees:(max 1 n)
+  end

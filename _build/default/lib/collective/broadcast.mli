@@ -1,0 +1,55 @@
+(** Executes one Broadcast collective inside the simulator under any of
+    the six schemes (paper §4).
+
+    Messages are split into [chunks] pipelined chunks (the paper uses
+    8, as NCCL-style libraries do): a chunk is forwarded as soon as it
+    is fully received, so rings and trees overlap transmission along
+    the schedule while multicast schemes overlap replication down the
+    tree.
+
+    Congestion control is optional: [No_cc] runs over plain FIFO links
+    (lossless fabric, queueing delay only), while [Dcqcn] adds the
+    DCQCN-lite sender rate limiter with ECN-style marking — the paper's
+    guard-timer experiment (§4, "Congestion control"). *)
+
+open Peel_topology
+open Peel_sim
+open Peel_workload
+
+type cc =
+  | No_cc
+  | Dcqcn of { guard : float option; ecn_delay : float }
+      (** [guard]: minimum spacing between rate cuts ([None] = react to
+          every CNP); [ecn_delay]: queueing delay on any link that marks
+          a chunk. *)
+
+type config = {
+  chunks : int;
+  cc : cc;
+  rng : Peel_util.Rng.t;  (** controller setup delays (Orca, PEEL+cores) *)
+  controller : bool;
+      (** when false, Orca's flow-setup delay is zeroed — the "without
+          controller overhead" variant of the paper's Figure 4 *)
+  loss : Peel_sim.Transfer.loss option;
+      (** per-link chunk loss with selective-repeat recovery: per-hop
+          retransmit on unicast schedules, end-to-end source repair for
+          multicast receivers (the RDMA machinery the paper inherits) *)
+}
+
+val default_config : rng:Peel_util.Rng.t -> config
+(** chunks = 8, no congestion control, controller delays on, lossless. *)
+
+val launch :
+  Engine.t ->
+  Link_state.t ->
+  Fabric.t ->
+  Paths.t ->
+  config ->
+  Scheme.t ->
+  spec:Spec.collective ->
+  on_complete:(float -> unit) ->
+  unit
+(** Schedules the collective's transfers starting at [spec.arrival];
+    [on_complete] fires with the collective completion time (last chunk
+    at the last destination minus arrival) once every destination holds
+    the whole message. *)

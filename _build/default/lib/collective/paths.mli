@@ -1,0 +1,22 @@
+(** Endpoint-to-endpoint unicast paths with a global cache.
+
+    Sibling GPUs talk over NVLink through the server's NVSwitch; all
+    other pairs take the deterministic shortest fabric path.  Paths are
+    cached per (fabric, src, dst) — ring and tree schedules revisit the
+    same consecutive-id pairs across thousands of collectives. *)
+
+open Peel_topology
+
+type t
+
+val create : ?ecmp:bool -> Fabric.t -> t
+(** [ecmp] (default true) hash-selects among equal-cost paths per flow;
+    [false] models a fabric that always picks the deterministic
+    lowest-id path — the funneling ablation of E12. *)
+
+val links : t -> int -> int -> int list
+(** Directed link ids from one endpoint to another.  Raises
+    [Invalid_argument] if disconnected. *)
+
+val invalidate : t -> unit
+(** Drop the cache (after failing/restoring links). *)

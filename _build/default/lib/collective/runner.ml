@@ -1,0 +1,52 @@
+open Peel_topology
+open Peel_sim
+open Peel_workload
+module Rng = Peel_util.Rng
+
+type outcome = {
+  ccts : float list;
+  events : int;
+  makespan : float;
+  telemetry : Telemetry.t;
+}
+
+let run_custom ?(chunks = 8) ?(cc = Broadcast.No_cc) ?(controller_seed = 1234)
+    ?(controller = true) ?loss ?(ecmp = true) fabric ~launch collectives =
+  let engine = Engine.create () in
+  let links = Link_state.create (Fabric.graph fabric) in
+  let paths = Paths.create ~ecmp fabric in
+  let cfg =
+    { Broadcast.chunks; cc; rng = Rng.create controller_seed; controller; loss }
+  in
+  let n = List.length collectives in
+  let results = Array.make n nan in
+  let done_count = ref 0 in
+  List.iteri
+    (fun i (spec : Spec.collective) ->
+      launch engine links paths cfg ~spec ~on_complete:(fun cct ->
+          results.(i) <- cct;
+          incr done_count))
+    collectives;
+  Engine.run engine;
+  if !done_count <> n then
+    failwith
+      (Printf.sprintf "Runner.run: %d of %d collectives did not complete"
+         (n - !done_count) n);
+  let makespan = Engine.now engine in
+  {
+    ccts = Array.to_list results;
+    events = Engine.events_processed engine;
+    makespan;
+    telemetry =
+      Telemetry.snapshot (Fabric.graph fabric) links
+        ~horizon:(Float.max makespan 1e-9);
+  }
+
+let run ?chunks ?cc ?controller_seed ?controller ?loss ?ecmp fabric scheme
+    collectives =
+  run_custom ?chunks ?cc ?controller_seed ?controller ?loss ?ecmp fabric
+    ~launch:(fun engine links paths cfg ~spec ~on_complete ->
+      Broadcast.launch engine links fabric paths cfg scheme ~spec ~on_complete)
+    collectives
+
+let summarize outcome = Peel_util.Stats.summarize outcome.ccts

@@ -1,0 +1,53 @@
+(** Drives a whole workload through the simulator and collects
+    collective completion times. *)
+
+open Peel_topology
+open Peel_workload
+
+type outcome = {
+  ccts : float list;       (** one CCT per collective, arrival order *)
+  events : int;            (** simulator events processed *)
+  makespan : float;        (** time the last delivery happened *)
+  telemetry : Peel_sim.Telemetry.t;
+      (** link utilization over the whole run *)
+}
+
+val run :
+  ?chunks:int ->
+  ?cc:Broadcast.cc ->
+  ?controller_seed:int ->
+  ?controller:bool ->
+  ?loss:Peel_sim.Transfer.loss ->
+  ?ecmp:bool ->
+  Fabric.t ->
+  Scheme.t ->
+  Spec.collective list ->
+  outcome
+(** Simulate every collective (they share the fabric and interact
+    through link queues).  Raises [Failure] if any collective cannot
+    complete (unreachable destinations). *)
+
+val run_custom :
+  ?chunks:int ->
+  ?cc:Broadcast.cc ->
+  ?controller_seed:int ->
+  ?controller:bool ->
+  ?loss:Peel_sim.Transfer.loss ->
+  ?ecmp:bool ->
+  Fabric.t ->
+  launch:
+    (Peel_sim.Engine.t ->
+    Peel_sim.Link_state.t ->
+    Paths.t ->
+    Broadcast.config ->
+    spec:Spec.collective ->
+    on_complete:(float -> unit) ->
+    unit) ->
+  Spec.collective list ->
+  outcome
+(** Same engine/link sharing as {!run}, but with a caller-provided
+    launcher — how the non-broadcast collectives (allgather, reduce,
+    allreduce) plug in. *)
+
+val summarize : outcome -> Peel_util.Stats.summary
+(** Mean/p99 CCT summary of an outcome. *)

@@ -1,0 +1,1 @@
+lib/core/peel.ml: Dataplane Peel_prefix Peel_steiner Peel_topology Peel_util Plan

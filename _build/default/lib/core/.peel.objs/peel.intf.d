@@ -1,0 +1,1 @@
+lib/core/peel.mli: Dataplane Peel_prefix Peel_steiner Peel_topology Plan

@@ -1,0 +1,1 @@
+lib/core/dataplane.ml: Array Fabric Hashtbl Header List Peel_prefix Peel_topology Peel_util Plan Printf Rules String

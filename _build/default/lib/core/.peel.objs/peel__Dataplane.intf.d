@@ -1,0 +1,1 @@
+lib/core/dataplane.mli: Fabric Peel_topology Plan

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Array Cover Fabric Hashtbl List Option Peel_prefix Peel_steiner Peel_topology Peel_util Printf String

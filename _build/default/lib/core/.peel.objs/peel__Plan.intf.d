@@ -1,0 +1,1 @@
+lib/core/plan.mli: Cover Fabric Peel_prefix Peel_steiner Peel_topology

@@ -1,0 +1,74 @@
+open Peel_topology
+open Peel_prefix
+module Bits = Peel_util.Bits
+
+type delivery = {
+  packet_index : int;
+  pods_reached : int list;
+  tors_reached : int list;
+}
+
+let deliver fabric (plan : Plan.t) =
+  let m_tor = Bits.ceil_log2 (max 2 (Fabric.tors_per_pod fabric)) in
+  let m_pod = Bits.ceil_log2 (max 2 (Fabric.pods fabric)) in
+  let agg_table = Rules.static_table ~m:m_tor in
+  let core_table = Rules.static_table ~m:m_pod in
+  List.mapi
+    (fun packet_index (p : Plan.packet) ->
+      (* Core tier: decode the pod field and replicate per pod rules. *)
+      let pods_reached =
+        match p.Plan.pod_prefix with
+        | None -> [ 0 ]
+        | Some pp ->
+            let wire = Header.encode ~m:m_pod pp in
+            let decoded = Header.decode ~m:m_pod wire.Header.raw in
+            (Rules.lookup core_table decoded).Rules.ports
+            |> List.filter (fun pod -> pod < Fabric.pods fabric)
+      in
+      (* Aggregation tier in each reached pod: decode the ToR field. *)
+      let wire = Header.encode ~m:m_tor p.Plan.tor_prefix in
+      let decoded = Header.decode ~m:m_tor wire.Header.raw in
+      let ports = (Rules.lookup agg_table decoded).Rules.ports in
+      let tors_reached =
+        List.concat_map
+          (fun pod ->
+            let racks = Fabric.tors_of_pod fabric pod in
+            List.filter_map
+              (fun idx -> if idx < Array.length racks then Some racks.(idx) else None)
+              ports)
+          pods_reached
+        |> List.sort compare
+      in
+      { packet_index; pods_reached = List.sort compare pods_reached; tors_reached })
+    plan.Plan.packets
+
+let verify fabric (plan : Plan.t) =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let deliveries = deliver fabric plan in
+  let rec check = function
+    | [] -> Ok ()
+    | (d, (p : Plan.packet)) :: rest ->
+        if d.tors_reached <> p.Plan.tors then
+          fail "packet %d: data plane reaches racks %s but plan says %s"
+            d.packet_index
+            (String.concat "," (List.map string_of_int d.tors_reached))
+            (String.concat "," (List.map string_of_int p.Plan.tors))
+        else check rest
+  in
+  match check (List.combine deliveries plan.Plan.packets) with
+  | Error _ as e -> e
+  | Ok () ->
+      (* Collectively: every destination's rack receives a copy. *)
+      let reached = Hashtbl.create 64 in
+      List.iter
+        (fun d -> List.iter (fun t -> Hashtbl.replace reached t ()) d.tors_reached)
+        deliveries;
+      let missing =
+        List.filter
+          (fun dst -> not (Hashtbl.mem reached (Fabric.attach_tor fabric dst)))
+          plan.Plan.dests
+      in
+      if missing <> [] then
+        fail "destinations with unreached racks: %s"
+          (String.concat "," (List.map string_of_int missing))
+      else Ok ()

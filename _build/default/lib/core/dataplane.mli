@@ -1,0 +1,29 @@
+(** Switch data-plane emulation: runs a {!Plan} through the actual
+    static rule tables, byte-for-byte the way hardware would.
+
+    The sender wire-encodes each packet's [<prefix, len>] tuples
+    ({!Peel_prefix.Header}); the core tier decodes the pod field and
+    replicates to the matching pod block using its pre-installed rules;
+    each pod's aggregation tier decodes the ToR field and replicates to
+    the matching rack block.  [verify] cross-checks that this pipeline
+    reaches *exactly* the racks the plan says it reaches — the
+    end-to-end consistency between the control plane (cover-set
+    computation) and the data plane (k-1 static TCAM rules). *)
+
+open Peel_topology
+
+type delivery = {
+  packet_index : int;
+  pods_reached : int list;
+  tors_reached : int list;  (** ToR node ids, ascending *)
+}
+
+val deliver : Fabric.t -> Plan.t -> delivery list
+(** Execute every packet of the plan through encode -> decode -> rule
+    lookup -> replication.  Raises [Invalid_argument] on a malformed
+    plan (prefix outside the fabric's id space). *)
+
+val verify : Fabric.t -> Plan.t -> (unit, string) result
+(** [Ok ()] iff for every packet the data plane reaches exactly
+    [packet.tors] (members plus over-covered racks), and collectively
+    every destination's rack is reached. *)

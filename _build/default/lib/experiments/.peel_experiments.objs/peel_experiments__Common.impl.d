@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Fabric Peel_collective Peel_topology Peel_util Printf

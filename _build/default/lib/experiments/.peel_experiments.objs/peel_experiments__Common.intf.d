@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Fabric Peel_collective Peel_topology Peel_util Peel_workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_approx.ml: Array Common Exact Fabric Float Graph Layer_peel List Peel Peel_baselines Peel_steiner Peel_topology Peel_util Printf Tree

@@ -1,0 +1,1 @@
+lib/experiments/exp_collectives.ml: Allgather Allreduce Common Fabric List Peel_collective Peel_topology Peel_util Peel_workload Printf Reduce Spec

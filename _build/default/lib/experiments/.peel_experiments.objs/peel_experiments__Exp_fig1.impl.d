@@ -1,0 +1,1 @@
+lib/experiments/exp_fig1.ml: Array Binary_tree Common Fabric List Peel_baselines Peel_steiner Peel_topology Peel_util Printf Ring Traffic

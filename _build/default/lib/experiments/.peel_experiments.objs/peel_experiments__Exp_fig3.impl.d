@@ -1,0 +1,1 @@
+lib/experiments/exp_fig3.ml: Common List Peel_baselines Peel_prefix Peel_util Printf Rsbf

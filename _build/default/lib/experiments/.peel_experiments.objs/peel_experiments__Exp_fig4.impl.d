@@ -1,0 +1,1 @@
+lib/experiments/exp_fig4.ml: Common List Peel_collective Peel_util Peel_workload Printf Spec

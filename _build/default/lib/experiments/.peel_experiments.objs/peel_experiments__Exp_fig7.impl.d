@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.ml: Common Fabric Graph List Peel_collective Peel_topology Peel_util Peel_workload Printf Spec

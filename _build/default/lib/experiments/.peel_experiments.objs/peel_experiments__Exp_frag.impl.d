@@ -1,0 +1,1 @@
+lib/experiments/exp_frag.ml: Common List Peel Peel_collective Peel_util Peel_workload Printf Spec

@@ -1,0 +1,1 @@
+lib/experiments/exp_guard.ml: Common Peel_collective Peel_sim Peel_util Peel_workload Spec

@@ -1,0 +1,1 @@
+lib/experiments/exp_loss.ml: Common List Peel_collective Peel_sim Peel_util Peel_workload Printf Runner Scheme Spec

@@ -1,0 +1,1 @@
+lib/experiments/exp_multipath.ml: Common List Option Peel_collective Peel_sim Peel_util Peel_workload Printf Runner Scheme Spec

@@ -1,0 +1,1 @@
+lib/experiments/exp_rail.ml: Common Fabric List Peel Peel_collective Peel_topology Peel_util Peel_workload Printf Spec

@@ -1,0 +1,1 @@
+lib/experiments/exp_rail.mli: Common Peel_collective

@@ -1,0 +1,1 @@
+lib/experiments/exp_state.ml: Common Header List Peel_prefix Peel_util Printf Rules

@@ -1,0 +1,1 @@
+lib/experiments/exp_tenancy.ml: Array Common Fabric Graph List Peel Peel_steiner Peel_topology Peel_util Peel_workload Spec

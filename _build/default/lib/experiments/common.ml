@@ -1,0 +1,27 @@
+open Peel_topology
+
+type mode = Quick | Full
+
+let trials mode ~full =
+  match mode with Full -> full | Quick -> max 4 (full / 8)
+
+let fig5_fabric () = Fabric.fat_tree ~k:8 ~hosts_per_tor:4 ~gpus_per_host:8 ()
+
+let fig7_fabric () =
+  Fabric.leaf_spine ~spines:16 ~leaves:48 ~hosts_per_leaf:2 ~gpus_per_host:8 ()
+
+let fig1_fabric () = Fabric.leaf_spine ~spines:2 ~leaves:2 ~hosts_per_leaf:4 ()
+
+let mb x = x *. 1e6
+
+let banner title =
+  Printf.printf "\n==== %s ====\n%!" title
+
+let note s = Printf.printf "  %s\n%!" s
+
+let summarize_run ?cc ?controller fabric scheme collectives =
+  Peel_collective.Runner.summarize
+    (Peel_collective.Runner.run ?cc ?controller fabric scheme collectives)
+
+let fsec = Peel_util.Table.fsec
+let f2 x = Printf.sprintf "%.2f" x

@@ -1,0 +1,42 @@
+(** Shared scaffolding for the experiment harness: the paper's two
+    evaluation fabrics, trial-count scaling, and table helpers. *)
+
+open Peel_topology
+
+type mode = Quick | Full
+
+val trials : mode -> full:int -> int
+(** [full] trials in [Full] mode, a small fraction (>= 4) in [Quick]. *)
+
+val fig5_fabric : unit -> Fabric.t
+(** The paper's §4 fat-tree: 8-ary, 4 servers/ToR, 8 GPUs/server
+    (1024 GPUs), 100 Gbps links, 900 GB/s NVLink. *)
+
+val fig7_fabric : unit -> Fabric.t
+(** The paper's failure fabric: 16 spines x 48 leaves, 2 servers/leaf,
+    8 GPUs/server. *)
+
+val fig1_fabric : unit -> Fabric.t
+(** The intro figure's toy fabric: 2 spines, 2 leaves, 4 hosts/leaf
+    (8 endpoints). *)
+
+val mb : float -> float
+(** Megabytes to bytes. *)
+
+val banner : string -> unit
+(** Print an experiment header. *)
+
+val note : string -> unit
+
+val summarize_run :
+  ?cc:Peel_collective.Broadcast.cc ->
+  ?controller:bool ->
+  Fabric.t ->
+  Peel_collective.Scheme.t ->
+  Peel_workload.Spec.collective list ->
+  Peel_util.Stats.summary
+(** Run a workload and summarize CCTs. *)
+
+val fsec : float -> string
+val f2 : float -> string
+(** Two-decimal float. *)

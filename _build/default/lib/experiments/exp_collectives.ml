@@ -1,0 +1,62 @@
+open Peel_topology
+open Peel_workload
+open Peel_collective
+module Rng = Peel_util.Rng
+
+type row = {
+  op : string;
+  algo : string;
+  size_mb : float;
+  mean : float;
+  p99 : float;
+}
+
+let fabric () = Fabric.fat_tree ~k:8 ~hosts_per_tor:4 ~gpus_per_host:1 ()
+
+let sizes mode =
+  match mode with
+  | Common.Full -> [ 8.; 64.; 256. ]
+  | Common.Quick -> [ 64. ]
+
+let compute mode =
+  let f = fabric () in
+  let n = Common.trials mode ~full:30 in
+  let workload bytes =
+    Spec.poisson_broadcasts f (Rng.create 700) ~n ~scale:64 ~bytes ~load:0.3 ()
+  in
+  let summary out =
+    let s = Peel_collective.Runner.summarize out in
+    (s.Peel_util.Stats.mean, s.Peel_util.Stats.p99)
+  in
+  List.concat_map
+    (fun size_mb ->
+      let cs = workload (Common.mb size_mb) in
+      let mk op algo (mean, p99) = { op; algo; size_mb; mean; p99 } in
+      [
+        mk "allgather" "ring" (summary (Allgather.run f Allgather.Ring_exchange cs));
+        mk "allgather" "peel" (summary (Allgather.run f Allgather.Peel_multicast cs));
+        mk "reduce" "ring" (summary (Reduce.run f Reduce.Ring_pass cs));
+        mk "reduce" "tree" (summary (Reduce.run f Reduce.Btree_reduce cs));
+        mk "allreduce" "ring" (summary (Allreduce.run f Allreduce.Ring_rs_ag cs));
+        mk "allreduce" "reduce+peel"
+          (summary (Allreduce.run f Allreduce.Reduce_then_peel cs));
+      ])
+    (sizes mode)
+
+let run mode =
+  Common.banner "E11 (ext): PEEL inside allgather / reduce / allreduce";
+  Common.note "8-ary fat-tree, 1 GPU/server, 64-worker collectives at 30% load";
+  let rows = compute mode in
+  Peel_util.Table.print
+    ~header:[ "collective"; "algorithm"; "size"; "mean CCT"; "p99 CCT" ]
+    (List.map
+       (fun r ->
+         [
+           r.op;
+           r.algo;
+           Printf.sprintf "%.0f MB" r.size_mb;
+           Common.fsec r.mean;
+           Common.fsec r.p99;
+         ])
+       rows);
+  Common.note "multicast lifts allgather directly; reduce still rides unicast trees"

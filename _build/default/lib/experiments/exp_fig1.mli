@@ -1,0 +1,15 @@
+(** E1 — Figure 1: bandwidth consumption of unicast Ring/Tree Broadcast
+    versus the multicast optimum on the intro's two-tier leaf-spine.
+
+    The paper's claim: logical rings and trees traverse the core links
+    up to 80% more often than the optimal multicast tree. *)
+
+type row = {
+  scheme : string;
+  fabric_links : int;   (** total directed fabric-link traversals *)
+  core_links : int;     (** traversals touching a spine *)
+  overshoot_pct : float; (** vs the optimal tree, percent *)
+}
+
+val compute : unit -> row list
+val run : Common.mode -> unit

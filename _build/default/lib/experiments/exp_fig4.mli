@@ -1,0 +1,18 @@
+(** E3 — Figure 4: Orca's SDN flow-setup delay inflates collective
+    completion time.
+
+    A 1024-GPU 8-ary fat-tree runs 64-GPU Broadcasts of 2-512 MB under
+    Orca, with the controller's N(10 ms, 5 ms) flow-setup delay either
+    modelled or zeroed.  The paper's claim: the p99 CCT of a 32 MB
+    Broadcast rises ~8x with controller overhead. *)
+
+type row = {
+  size_mb : float;
+  mean_with : float;
+  mean_without : float;
+  p99_with : float;
+  p99_without : float;
+}
+
+val compute : Common.mode -> row list
+val run : Common.mode -> unit

@@ -1,0 +1,1 @@
+lib/prefix/cover.ml: Array Hashtbl List Peel_util String

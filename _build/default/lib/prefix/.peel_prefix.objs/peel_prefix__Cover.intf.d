@@ -1,0 +1,1 @@
+lib/prefix/cover.mli:

@@ -1,0 +1,1 @@
+lib/prefix/header.ml: Cover Peel_util

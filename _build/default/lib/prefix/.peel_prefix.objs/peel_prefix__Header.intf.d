@@ -1,0 +1,1 @@
+lib/prefix/header.mli: Cover

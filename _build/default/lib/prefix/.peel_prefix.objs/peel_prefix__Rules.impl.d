@@ -1,0 +1,1 @@
+lib/prefix/rules.ml: Cover Hashtbl Header List Peel_util

@@ -1,0 +1,1 @@
+lib/prefix/rules.mli: Cover Header

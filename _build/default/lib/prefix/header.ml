@@ -1,0 +1,37 @@
+module Bits = Peel_util.Bits
+
+let id_bits ~k =
+  if k < 4 || k mod 2 <> 0 || not (Bits.is_power_of_two (k / 2)) then
+    invalid_arg "Header.id_bits: k/2 must be a power of two, k >= 4";
+  Bits.ilog2 (k / 2)
+
+(* Bits needed to express lengths 0..m, i.e. m+1 distinct values. *)
+let len_bits m = Bits.ceil_log2 (m + 1)
+
+let header_bits ~k =
+  let m = id_bits ~k in
+  m + len_bits m
+
+let header_bytes ~k = Bits.ceil_div (header_bits ~k) 8
+
+type t = { prefix : Cover.prefix; raw : int }
+
+let encode ~m p =
+  Cover.validate ~m p;
+  (* Pack: [len] in the high field, value left-aligned in an m-bit
+     field (low bits zero for short prefixes). *)
+  let value_field = p.Cover.value lsl (m - p.Cover.len) in
+  { prefix = p; raw = (p.Cover.len lsl m) lor value_field }
+
+let decode ~m raw =
+  if raw < 0 then invalid_arg "Header.decode: negative";
+  let len = raw lsr m in
+  let value_field = raw land (Bits.pow2 m - 1) in
+  if len > m then invalid_arg "Header.decode: length exceeds id bits";
+  let value = value_field lsr (m - len) in
+  (* Reject stray bits below the prefix. *)
+  if value lsl (m - len) <> value_field then
+    invalid_arg "Header.decode: nonzero padding bits";
+  let p = { Cover.value; len } in
+  Cover.validate ~m p;
+  p

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Option Peel_util Printf

@@ -1,0 +1,1 @@
+lib/sim/link_state.ml: Array Float Graph Peel_topology

@@ -1,0 +1,1 @@
+lib/sim/link_state.mli: Graph Peel_topology

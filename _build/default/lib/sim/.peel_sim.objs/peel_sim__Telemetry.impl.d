@@ -1,0 +1,1 @@
+lib/sim/telemetry.ml: Array Float Graph Hashtbl Link_state List Option Peel_topology Printf

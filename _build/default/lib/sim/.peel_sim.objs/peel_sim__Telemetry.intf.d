@@ -1,0 +1,1 @@
+lib/sim/telemetry.mli: Graph Link_state Peel_topology

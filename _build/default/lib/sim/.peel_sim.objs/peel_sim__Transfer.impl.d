@@ -1,0 +1,1 @@
+lib/sim/transfer.ml: Engine Graph Link_state List Option Peel_steiner Peel_topology Peel_util

@@ -1,0 +1,1 @@
+lib/sim/transfer.mli: Engine Graph Link_state Peel_steiner Peel_topology Peel_util

@@ -1,0 +1,36 @@
+(** DCQCN-lite sender rate control with the paper's multicast guard
+    timer (§4, "Congestion control").
+
+    In DCQCN an ECN mark on a data packet makes the receiver emit a CNP
+    and the sender multiplicatively cut its rate.  Under multicast a
+    single marked chunk fans out into one CNP *per receiver*, so a
+    64-receiver broadcast can slash the sender's rate 64 times for one
+    congestion event — the paper's motivation for replacing the
+    receiver-side limiter with a sender-side guard timer that honours
+    at most one rate reduction per 50 µs.
+
+    The model: multiplicative decrease on CNP (factor 1/2), linear
+    recovery back to line rate (lazy, applied on every interaction),
+    and a floor at 1/1000 of line rate. *)
+
+type t
+
+val default_guard : float
+(** 50e-6 seconds, the paper's value. *)
+
+val create : ?guard:float option -> line_rate:float -> unit -> t
+(** [guard = Some g] enables the sender-side guard timer with window
+    [g]; [None] reacts to every CNP (classic receiver-driven DCQCN
+    behaviour under multicast). Default: [Some default_guard]. *)
+
+val rate : t -> now:float -> float
+(** Current sending rate (bytes/s) after lazy recovery. *)
+
+val on_cnp : t -> now:float -> unit
+(** Congestion notification from one receiver. *)
+
+val release_duration : t -> now:float -> bytes:float -> float
+(** Time to pace out one chunk at the current rate. *)
+
+val cuts : t -> int
+(** Number of rate reductions actually applied (for tests/telemetry). *)

@@ -1,0 +1,38 @@
+module Heap = Peel_util.Pairing_heap
+
+type t = {
+  mutable now : float;
+  q : (unit -> unit) Heap.t;
+  mutable processed : int;
+}
+
+let create () = { now = 0.0; q = Heap.create (); processed = 0 }
+let now t = t.now
+
+let schedule t at f =
+  if at < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %.9f is before now %.9f" at t.now);
+  Heap.push t.q at f
+
+let schedule_in t dt f = schedule t (t.now +. dt) f
+
+let run ?until t =
+  let stop = Option.value until ~default:infinity in
+  let rec loop () =
+    match Heap.peek t.q with
+    | None -> ()
+    | Some (at, _) when at > stop -> ()
+    | Some _ ->
+        (match Heap.pop t.q with
+        | Some (at, f) ->
+            t.now <- at;
+            t.processed <- t.processed + 1;
+            f ()
+        | None -> ());
+        loop ()
+  in
+  loop ()
+
+let pending t = Heap.length t.q
+let events_processed t = t.processed

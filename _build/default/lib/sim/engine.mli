@@ -1,0 +1,27 @@
+(** Discrete-event simulation engine.
+
+    A time-ordered queue of thunks.  Events scheduled for the same
+    instant run in scheduling order (the heap breaks ties FIFO), which
+    — together with the deterministic PRNG — makes every simulation
+    bit-reproducible. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time in seconds; 0.0 before the first event. *)
+
+val schedule : t -> float -> (unit -> unit) -> unit
+(** [schedule t at f] runs [f] at absolute time [at].  Raises
+    [Invalid_argument] when [at] lies in the past. *)
+
+val schedule_in : t -> float -> (unit -> unit) -> unit
+(** Relative variant: [schedule_in t dt f = schedule t (now t +. dt) f]. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue (or stop once the next event would exceed
+    [until]; remaining events stay queued). *)
+
+val pending : t -> int
+val events_processed : t -> int

@@ -1,0 +1,34 @@
+open Peel_topology
+
+type t = { graph : Graph.t; free : float array; busy : float array }
+
+type reservation = { start : float; finish : float; queue_delay : float }
+
+let create graph =
+  let n = Graph.num_links graph in
+  { graph; free = Array.make n 0.0; busy = Array.make n 0.0 }
+
+let reserve t ~link ~now ~bytes =
+  if bytes <= 0.0 then invalid_arg "Link_state.reserve: bytes must be positive";
+  let l = Graph.link t.graph link in
+  if not l.Graph.up then invalid_arg "Link_state.reserve: link is down";
+  let start = Float.max now t.free.(link) in
+  let tx = bytes /. l.Graph.bandwidth in
+  let finish = start +. tx in
+  t.free.(link) <- finish;
+  t.busy.(link) <- t.busy.(link) +. tx;
+  { start; finish; queue_delay = start -. now }
+
+let arrival t ~link r = r.finish +. (Graph.link t.graph link).Graph.latency
+
+let backlog t ~link ~now = Float.max 0.0 (t.free.(link) -. now)
+
+let busy_seconds t ~link = t.busy.(link)
+
+let utilization t ~link ~horizon =
+  if horizon <= 0.0 then invalid_arg "Link_state.utilization: horizon > 0";
+  t.busy.(link) /. horizon
+
+let reset t =
+  Array.fill t.free 0 (Array.length t.free) 0.0;
+  Array.fill t.busy 0 (Array.length t.busy) 0.0

@@ -1,0 +1,39 @@
+(** Per-link FIFO transmission state.
+
+    Every directed link is a FIFO server: a chunk reserved at time [t]
+    starts transmitting at [max t free], occupies the link for
+    [bytes / bandwidth] seconds, and the difference between the two is
+    the queueing delay — the congestion signal ECN-style marking keys
+    off.  Queues are unbounded (PFC-style lossless fabric: backpressure
+    shows up as delay, never as loss). *)
+
+open Peel_topology
+
+type t
+
+type reservation = {
+  start : float;       (** when the first byte leaves *)
+  finish : float;      (** when the last byte leaves (add propagation
+                           latency for arrival at the far end) *)
+  queue_delay : float; (** start - requested time *)
+}
+
+val create : Graph.t -> t
+
+val reserve : t -> link:int -> now:float -> bytes:float -> reservation
+(** Raises [Invalid_argument] if the link is down or [bytes <= 0]. *)
+
+val arrival : t -> link:int -> reservation -> float
+(** [finish + propagation latency] — when the chunk is fully received
+    by the next hop. *)
+
+val backlog : t -> link:int -> now:float -> float
+(** Seconds of queued transmission ahead of a reservation made now. *)
+
+val busy_seconds : t -> link:int -> float
+(** Cumulative transmission time, for utilization accounting. *)
+
+val utilization : t -> link:int -> horizon:float -> float
+(** [busy_seconds / horizon]. *)
+
+val reset : t -> unit

@@ -1,0 +1,52 @@
+open Peel_topology
+
+type link_report = {
+  link : int;
+  src : int;
+  dst : int;
+  tier : string;
+  utilization : float;
+}
+
+type t = { reports : link_report array }
+
+let tier_of g lid =
+  let l = Graph.link g lid in
+  Printf.sprintf "%s->%s"
+    (Graph.kind_to_string (Graph.node g l.Graph.src).Graph.kind)
+    (Graph.kind_to_string (Graph.node g l.Graph.dst).Graph.kind)
+
+let snapshot g links ~horizon =
+  if horizon <= 0.0 then invalid_arg "Telemetry.snapshot: horizon > 0";
+  let reports =
+    Array.init (Graph.num_links g) (fun lid ->
+        let l = Graph.link g lid in
+        {
+          link = lid;
+          src = l.Graph.src;
+          dst = l.Graph.dst;
+          tier = tier_of g lid;
+          utilization = Link_state.utilization links ~link:lid ~horizon;
+        })
+  in
+  { reports }
+
+let hottest t ~n =
+  let sorted = Array.copy t.reports in
+  Array.sort (fun a b -> compare b.utilization a.utilization) sorted;
+  Array.to_list (Array.sub sorted 0 (min n (Array.length sorted)))
+
+let tier_utilization t =
+  let acc = Hashtbl.create 8 in
+  Array.iter
+    (fun r ->
+      let sum, count = Option.value (Hashtbl.find_opt acc r.tier) ~default:(0.0, 0) in
+      Hashtbl.replace acc r.tier (sum +. r.utilization, count + 1))
+    t.reports;
+  Hashtbl.fold
+    (fun tier (sum, count) l -> (tier, sum /. float_of_int count) :: l)
+    acc []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let max_utilization t =
+  Array.fold_left (fun acc r -> Float.max acc r.utilization) 0.0 t.reports

@@ -1,0 +1,32 @@
+(** Link-level telemetry over a finished (or running) simulation.
+
+    A deployable multicast service needs path observability (paper §1
+    footnote; §3.4).  The simulator already accounts per-link busy
+    time; this module turns it into the reports an operator would pull:
+    hottest links, and mean utilization per fabric tier — which is how
+    the funnel-versus-fan-out asymmetry of multicast shows up. *)
+
+open Peel_topology
+
+type link_report = {
+  link : int;
+  src : int;
+  dst : int;
+  tier : string;        (** e.g. "host->tor", "agg->core" *)
+  utilization : float;  (** busy seconds / horizon *)
+}
+
+type t
+
+val snapshot : Graph.t -> Link_state.t -> horizon:float -> t
+(** [horizon] is the observation window (typically the simulation
+    makespan). Raises [Invalid_argument] if non-positive. *)
+
+val hottest : t -> n:int -> link_report list
+(** The [n] most utilized links, descending. *)
+
+val tier_utilization : t -> (string * float) list
+(** Mean utilization per (src kind -> dst kind) tier, descending;
+    tiers with zero traffic are included at 0. *)
+
+val max_utilization : t -> float

@@ -1,0 +1,89 @@
+open Peel_topology
+
+let path_links g nodes =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> (
+        match Graph.link_between g a b with
+        | Some lid -> go (lid :: acc) rest
+        | None -> invalid_arg "Transfer.path_links: missing or down link")
+    | _ -> List.rev acc
+  in
+  go [] nodes
+
+type loss = {
+  loss_rng : Peel_util.Rng.t;
+  prob : float;
+  rto : float;
+  mutable retransmissions : int;
+}
+
+let loss_model ~seed ~prob ?(rto = 100e-6) () =
+  if prob < 0.0 || prob >= 1.0 then invalid_arg "Transfer.loss_model: prob in [0,1)";
+  if rto <= 0.0 then invalid_arg "Transfer.loss_model: rto > 0";
+  { loss_rng = Peel_util.Rng.create seed; prob; rto; retransmissions = 0 }
+
+let dropped = function
+  | None -> false
+  | Some l -> l.prob > 0.0 && Peel_util.Rng.float l.loss_rng 1.0 < l.prob
+
+let unicast engine links ~links:path ~bytes ~start ?on_reserve ?loss
+    ~on_delivered () =
+  let rec hop remaining t =
+    match remaining with
+    | [] -> on_delivered t
+    | lid :: rest ->
+        Engine.schedule engine t (fun () ->
+            let r = Link_state.reserve links ~link:lid ~now:t ~bytes in
+            (match on_reserve with
+            | Some f -> f ~link:lid ~queue_delay:r.Link_state.queue_delay
+            | None -> ());
+            if dropped loss then begin
+              (* This hop's sender detects the gap and resends. *)
+              let l = Option.get loss in
+              l.retransmissions <- l.retransmissions + 1;
+              Engine.schedule engine
+                (r.Link_state.finish +. l.rto)
+                (fun () -> hop remaining (Engine.now engine))
+            end
+            else begin
+              let arrive = Link_state.arrival links ~link:lid r in
+              Engine.schedule engine arrive (fun () -> hop rest arrive)
+            end)
+  in
+  hop path start
+
+let multicast engine links ~tree ~bytes ~start ?on_reserve ?loss ?on_lost
+    ~on_delivered () =
+  (* Every member below a dropped link misses the chunk. *)
+  let rec orphan v t =
+    List.iter
+      (fun (child, _) ->
+        (match on_lost with
+        | Some f -> f ~node:child ~time:t
+        | None -> ());
+        orphan child t)
+      (Peel_steiner.Tree.children tree v)
+  in
+  let rec descend v t =
+    List.iter
+      (fun (child, lid) ->
+        Engine.schedule engine t (fun () ->
+            let r = Link_state.reserve links ~link:lid ~now:t ~bytes in
+            (match on_reserve with
+            | Some f -> f ~link:lid ~queue_delay:r.Link_state.queue_delay
+            | None -> ());
+            if dropped loss then begin
+              (match on_lost with
+              | Some f -> f ~node:child ~time:r.Link_state.finish
+              | None -> ());
+              orphan child r.Link_state.finish
+            end
+            else begin
+              let arrive = Link_state.arrival links ~link:lid r in
+              Engine.schedule engine arrive (fun () ->
+                  on_delivered ~node:child ~time:arrive;
+                  descend child arrive)
+            end))
+      (Peel_steiner.Tree.children tree v)
+  in
+  Engine.schedule engine start (fun () -> descend (Peel_steiner.Tree.root tree) start)

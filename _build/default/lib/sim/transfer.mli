@@ -1,0 +1,65 @@
+(** Chunk transfer primitives: store-and-forward unicast along a path
+    and replication down a multicast tree.
+
+    Both primitives reserve each link *at the moment the chunk is ready
+    to cross it* (event time), so concurrent collectives interleave in
+    true FIFO order on shared links.  The optional [on_reserve] hook
+    observes every reservation (link id and queueing delay) — the
+    attachment point for ECN marking and telemetry. *)
+
+open Peel_topology
+
+val path_links : Graph.t -> int list -> int list
+(** Map a node path to its directed link ids. Raises
+    [Invalid_argument] on a broken or down path. *)
+
+(** Per-link loss model with selective-repeat recovery (the RDMA
+    machinery the paper's multicast inherits).  Each chunk crossing a
+    link is dropped with probability [prob]; the drop is detected and
+    repaired after [rto].  [retransmissions] counts repair sends. *)
+type loss = {
+  loss_rng : Peel_util.Rng.t;
+  prob : float;
+  rto : float;
+  mutable retransmissions : int;
+}
+
+val loss_model : seed:int -> prob:float -> ?rto:float -> unit -> loss
+(** Default [rto] is 100 us. *)
+
+val unicast :
+  Engine.t ->
+  Link_state.t ->
+  links:int list ->
+  bytes:float ->
+  start:float ->
+  ?on_reserve:(link:int -> queue_delay:float -> unit) ->
+  ?loss:loss ->
+  on_delivered:(float -> unit) ->
+  unit ->
+  unit
+(** Send one chunk along consecutive links; [on_delivered] fires with
+    the arrival time at the final node.  An empty path delivers at
+    [start].  With [loss], a dropped hop is retransmitted by that hop's
+    sender after [rto] (per-hop selective repeat, as RDMA QPs do). *)
+
+val multicast :
+  Engine.t ->
+  Link_state.t ->
+  tree:Peel_steiner.Tree.t ->
+  bytes:float ->
+  start:float ->
+  ?on_reserve:(link:int -> queue_delay:float -> unit) ->
+  ?loss:loss ->
+  ?on_lost:(node:int -> time:float -> unit) ->
+  on_delivered:(node:int -> time:float -> unit) ->
+  unit ->
+  unit
+(** Replicate one chunk from the tree root downward (store-and-forward
+    at every member).  [on_delivered] fires for every non-root member;
+    callers filter for actual destinations.  With [loss], a dropped
+    tree link orphans its whole subtree: [on_lost] fires for every
+    subtree member (at the drop time) and no retransmission happens
+    here — multicast recovery is end-to-end, the caller unicasts the
+    chunk to the receivers that NACK (paper §1: RDMA selective
+    retransmissions). *)

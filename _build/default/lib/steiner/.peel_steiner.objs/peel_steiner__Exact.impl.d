@@ -1,0 +1,1 @@
+lib/steiner/exact.ml: Array Graph List Peel_topology Peel_util

@@ -1,0 +1,1 @@
+lib/steiner/exact.mli: Graph Peel_topology

@@ -1,0 +1,1 @@
+lib/steiner/layer_peel.ml: Array Graph Hashtbl List Option Peel_topology Tree

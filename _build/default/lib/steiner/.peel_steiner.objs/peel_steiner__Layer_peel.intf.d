@@ -1,0 +1,1 @@
+lib/steiner/layer_peel.mli: Graph Peel_topology Tree

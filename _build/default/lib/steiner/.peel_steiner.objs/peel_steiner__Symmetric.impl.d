@@ -1,0 +1,1 @@
+lib/steiner/symmetric.ml: Array Fabric Fat_tree Graph Hashtbl Int Leaf_spine List Option Peel_topology Printf Rail Set Tree

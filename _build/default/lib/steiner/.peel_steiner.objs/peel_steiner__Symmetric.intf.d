@@ -1,0 +1,1 @@
+lib/steiner/symmetric.mli: Fabric Peel_topology Tree

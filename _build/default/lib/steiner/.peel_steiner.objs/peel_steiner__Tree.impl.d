@@ -1,0 +1,1 @@
+lib/steiner/tree.ml: Graph Int List Map Option Peel_topology Printf String

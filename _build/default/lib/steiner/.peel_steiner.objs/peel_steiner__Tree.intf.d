@@ -1,0 +1,1 @@
+lib/steiner/tree.mli: Graph Peel_topology

@@ -1,0 +1,76 @@
+open Peel_topology
+module Heap = Peel_util.Pairing_heap
+
+let max_terminals = 12
+
+let inf = max_int / 4
+
+(* Dijkstra with unit weights over up links, seeded with per-node initial
+   distances; relaxes dp[mask] in place. *)
+let relax g dp_mask =
+  let heap = Heap.create () in
+  Array.iteri
+    (fun v d -> if d < inf then Heap.push heap (float_of_int d) v)
+    dp_mask;
+  let rec drain () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, v) ->
+        let d = int_of_float d in
+        if d = dp_mask.(v) then
+          Array.iter
+            (fun (w, lid) ->
+              if Graph.link_up g lid && d + 1 < dp_mask.(w) then begin
+                dp_mask.(w) <- d + 1;
+                Heap.push heap (float_of_int (d + 1)) w
+              end)
+            (Graph.out_links g v);
+        drain ()
+  in
+  drain ()
+
+let steiner_cost g ~terminals =
+  let terminals = List.sort_uniq compare terminals in
+  let q = List.length terminals in
+  if q > max_terminals then invalid_arg "Exact.steiner_cost: too many terminals";
+  if q <= 1 then Some 0
+  else begin
+    let terms = Array.of_list terminals in
+    let n = Graph.num_nodes g in
+    let full = (1 lsl q) - 1 in
+    let dp = Array.make (full + 1) [||] in
+    (* Singletons: distance from each terminal. *)
+    for i = 0 to q - 1 do
+      let d = Graph.bfs_dist g terms.(i) in
+      dp.(1 lsl i) <-
+        Array.init n (fun v -> if d.(v) = Graph.unreachable then inf else d.(v))
+    done;
+    for mask = 1 to full do
+      if mask land (mask - 1) <> 0 then begin
+        (* At least two bits: merge sub-splits, then relax over edges. *)
+        let cur = Array.make n inf in
+        let low = mask land -mask in
+        (* Enumerate submasks that contain the lowest bit (avoids double
+           counting symmetric splits). *)
+        let rest = mask lxor low in
+        let sub = ref rest in
+        let continue = ref true in
+        while !continue do
+          let s = !sub lor low in
+          let t = mask lxor s in
+          if s <> mask then begin
+            let a = dp.(s) and b = dp.(t) in
+            for v = 0 to n - 1 do
+              let c = a.(v) + b.(v) in
+              if c < cur.(v) then cur.(v) <- c
+            done
+          end;
+          if !sub = 0 then continue := false else sub := (!sub - 1) land rest
+        done;
+        relax g cur;
+        dp.(mask) <- cur
+      end
+    done;
+    let answer = dp.(full).(terms.(0)) in
+    if answer >= inf then None else Some answer
+  end

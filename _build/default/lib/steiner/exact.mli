@@ -1,0 +1,18 @@
+(** Exact minimum Steiner tree via the Dreyfus–Wagner dynamic program.
+
+    Exponential in the number of terminals (3^q subsets), so it is only
+    usable for small groups — which is exactly its role here: a ground
+    truth against which the layer-peeling greedy's approximation quality
+    is measured (paper §2.3 / the "within 1.4% of the Steiner optimum"
+    claim).  Unit link costs; only up links are considered. *)
+
+open Peel_topology
+
+val max_terminals : int
+(** Hard cap on the terminal count (12). *)
+
+val steiner_cost : Graph.t -> terminals:int list -> int option
+(** Minimum number of links connecting all terminals; [None] if they
+    are not mutually reachable. Raises [Invalid_argument] if more than
+    [max_terminals] distinct terminals are given. Terminal lists of
+    size 0 or 1 cost 0. *)

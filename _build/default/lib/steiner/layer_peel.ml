@@ -1,0 +1,124 @@
+open Peel_topology
+
+let reach_info g ~source ~dests =
+  let dist = Graph.bfs_dist g source in
+  let unreachable = List.exists (fun d -> dist.(d) = Graph.unreachable) dests in
+  if unreachable then None
+  else begin
+    let far = List.fold_left (fun acc d -> max acc dist.(d)) 0 dests in
+    Some (dist, far)
+  end
+
+let farthest_layer g ~source ~dests =
+  match reach_info g ~source ~dests with
+  | None -> None
+  | Some (_, far) -> Some far
+
+(* Candidate preference: lowest id by default, lowest (salted) hash when
+   diversifying. *)
+let rank ?salt u =
+  match salt with
+  | None -> u
+  | Some s ->
+      let h = Hashtbl.hash (u, s) in
+      (h * 65599) lxor (h lsr 7)
+
+let build ?salt g ~source ~dests =
+  let dests = List.sort_uniq compare (List.filter (fun d -> d <> source) dests) in
+  match reach_info g ~source ~dests with
+  | None -> None
+  | Some (dist, far) ->
+      let n = Graph.num_nodes g in
+      (* Bucket nodes into hop layers 0..far. *)
+      let layers = Array.make (far + 1) [] in
+      for v = n - 1 downto 0 do
+        let d = dist.(v) in
+        if d <> Graph.unreachable && d <= far then layers.(d) <- v :: layers.(d)
+      done;
+      let in_tree = Array.make n false in
+      let parent_of = Array.make n None in
+      in_tree.(source) <- true;
+      List.iter (fun d -> in_tree.(d) <- true) dests;
+      (* Candidate parents of [v] on the previous layer: in-neighbors at
+         distance [dist v - 1] over up links. *)
+      let prev_layer_neighbors v =
+        let dv = dist.(v) in
+        Array.to_list (Graph.out_links g v)
+        |> List.filter_map (fun (u, lid) ->
+               let rev = Graph.peer_link lid in
+               if Graph.link_up g rev && dist.(u) = dv - 1 then Some (u, rev)
+               else None)
+      in
+      for i = far - 1 downto 0 do
+        (* Members of layer i+1 still lacking a parent. *)
+        let uncovered =
+          List.filter (fun v -> in_tree.(v) && parent_of.(v) = None) layers.(i + 1)
+        in
+        (* Step 1: attach to layer-i nodes already in the tree. *)
+        let uncovered =
+          List.filter
+            (fun v ->
+              let existing =
+                List.filter (fun (u, _) -> in_tree.(u)) (prev_layer_neighbors v)
+              in
+              match existing with
+              | [] -> true
+              | first :: rest ->
+                  let u, lid =
+                    List.fold_left
+                      (fun (bu, bl) (u, l) ->
+                        if rank ?salt u < rank ?salt bu then (u, l) else (bu, bl))
+                      first rest
+                  in
+                  parent_of.(v) <- Some (u, lid);
+                  false)
+            uncovered
+        in
+        (* Step 2: greedy set cover — repeatedly add the layer-i switch
+           attaching the most still-uncovered members of layer i+1. *)
+        let uncovered = ref uncovered in
+        while !uncovered <> [] do
+          let coverage = Hashtbl.create 16 in
+          List.iter
+            (fun v ->
+              List.iter
+                (fun (u, _) ->
+                  Hashtbl.replace coverage u
+                    (1 + Option.value (Hashtbl.find_opt coverage u) ~default:0))
+                (prev_layer_neighbors v))
+            !uncovered;
+          let best =
+            Hashtbl.fold
+              (fun u c acc ->
+                match acc with
+                | Some (bu, bc)
+                  when bc > c || (bc = c && rank ?salt bu <= rank ?salt u) ->
+                    acc
+                | _ -> Some (u, c))
+              coverage None
+          in
+          match best with
+          | None ->
+              (* Unreachable layer member: impossible because BFS
+                 guarantees a predecessor on a live shortest path. *)
+              assert false
+          | Some (u, _) ->
+              in_tree.(u) <- true;
+              uncovered :=
+                List.filter
+                  (fun v ->
+                    match List.assoc_opt u (prev_layer_neighbors v) with
+                    | Some lid ->
+                        parent_of.(v) <- Some (u, lid);
+                        false
+                    | None -> true)
+                  !uncovered
+        done
+      done;
+      let parents = ref [] in
+      for v = 0 to n - 1 do
+        match parent_of.(v) with
+        | Some (p, lid) -> parents := (v, (p, lid)) :: !parents
+        | None -> ()
+      done;
+      Some (Tree.of_parents g ~root:source ~parents:!parents)

@@ -1,0 +1,27 @@
+(** The paper's layer-peeling greedy Steiner heuristic (§2.3).
+
+    Hop layers are concentric BFS rings around the source.  Starting
+    from the outermost ring and peeling inward, every tree member on
+    layer [i+1] that lacks a parent is attached by greedily adding the
+    layer-[i] node that covers the most still-unattached members —
+    a set-cover greedy constrained to the layered Clos structure.  The
+    result is a loop-free multicast tree with approximation factor
+    [O(min(F, |D|))] (Theorem 2.5), computed in polynomial time.
+
+    The algorithm only uses links that are currently up, so it applies
+    unchanged to asymmetric (failed) fabrics. *)
+
+open Peel_topology
+
+val build : ?salt:int -> Graph.t -> source:int -> dests:int list -> Tree.t option
+(** [None] when some destination is unreachable from the source.
+    Deterministic: greedy ties break toward the lowest node id, or — when
+    [salt] is given — toward the lowest hash of (node, salt).  Different
+    salts therefore yield different (equally sized) trees in symmetric
+    fabrics, the edge diversity multi-tree striping needs (§2.3's
+    multicast-vs-multipath question). *)
+
+val farthest_layer : Graph.t -> source:int -> dests:int list -> int option
+(** F = the largest hop distance from the source to any destination
+    ([None] if unreachable) — the quantity bounding the approximation
+    factor. *)

@@ -1,0 +1,96 @@
+open Peel_topology
+
+module Iset = Set.Make (Int)
+
+(* Accumulates parent bindings, ignoring repeats for the same child. *)
+type acc = { mutable bindings : (int * (int * int)) list; mutable seen : Iset.t }
+
+let add_edge g acc ~parent ~child =
+  if not (Iset.mem child acc.seen) then begin
+    match Graph.link_between g parent child with
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Symmetric.build: no up link %d->%d (fabric asymmetric?)"
+             parent child)
+    | Some lid ->
+        acc.bindings <- (child, (parent, lid)) :: acc.bindings;
+        acc.seen <- Iset.add child acc.seen
+  end
+
+let build fabric ~source ~dests =
+  let g = Fabric.graph fabric in
+  let dests = List.sort_uniq compare (List.filter (fun d -> d <> source) dests) in
+  let acc = { bindings = []; seen = Iset.add source Iset.empty } in
+  let src_tor = Fabric.attach_tor fabric source in
+  (* Every endpoint (host, or GPU through its dedicated NIC) hangs
+     directly off its ToR, so the tree is: source -> ToR -> upper tiers
+     -> destination ToRs -> destination endpoints. *)
+  let by_tor = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      let tor = Fabric.attach_tor fabric d in
+      Hashtbl.replace by_tor tor
+        (d :: Option.value (Hashtbl.find_opt by_tor tor) ~default:[]))
+    dests;
+  let tors_needed =
+    Hashtbl.fold (fun t _ acc -> if t <> src_tor then t :: acc else acc) by_tor []
+    |> List.sort compare
+  in
+  if dests <> [] then add_edge g acc ~parent:source ~child:src_tor;
+  (* Upper tiers, only if some ToR outside the source ToR is involved. *)
+  (match fabric with
+  | Fabric.Ls ls when tors_needed <> [] ->
+      let spine = ls.Leaf_spine.spines.(0) in
+      add_edge g acc ~parent:src_tor ~child:spine;
+      List.iter (fun tor -> add_edge g acc ~parent:spine ~child:tor) tors_needed
+  | Fabric.Ls _ -> ()
+  | Fabric.Rl rl when tors_needed <> [] ->
+      (* Two-tier like a leaf-spine: one spine covers all rail ToRs. *)
+      let spine = rl.Rail.spines.(0) in
+      add_edge g acc ~parent:src_tor ~child:spine;
+      List.iter (fun tor -> add_edge g acc ~parent:spine ~child:tor) tors_needed
+  | Fabric.Rl _ -> ()
+  | Fabric.Ft ft when tors_needed <> [] ->
+      let by_pod = Hashtbl.create 8 in
+      List.iter
+        (fun tor ->
+          let p = Fabric.pod_of_tor fabric tor in
+          Hashtbl.replace by_pod p
+            (tor :: Option.value (Hashtbl.find_opt by_pod p) ~default:[]))
+        tors_needed;
+      let src_pod = Fabric.pod_of_tor fabric src_tor in
+      let pods_needed =
+        Hashtbl.fold (fun p _ acc -> p :: acc) by_pod [] |> List.sort compare
+      in
+      let agg_of_pod p = ft.Fat_tree.aggs_of_pod.(p).(0) in
+      let core = ft.Fat_tree.cores.(0) in
+      let src_agg = agg_of_pod src_pod in
+      add_edge g acc ~parent:src_tor ~child:src_agg;
+      let other_pods = List.filter (fun p -> p <> src_pod) pods_needed in
+      if other_pods <> [] then begin
+        add_edge g acc ~parent:src_agg ~child:core;
+        List.iter
+          (fun p ->
+            let agg = agg_of_pod p in
+            add_edge g acc ~parent:core ~child:agg;
+            List.iter
+              (fun tor -> add_edge g acc ~parent:agg ~child:tor)
+              (List.sort compare (Hashtbl.find by_pod p)))
+          other_pods
+      end;
+      (match Hashtbl.find_opt by_pod src_pod with
+      | Some tors ->
+          List.iter
+            (fun tor -> add_edge g acc ~parent:src_agg ~child:tor)
+            (List.sort compare tors)
+      | None -> ())
+  | Fabric.Ft _ -> ());
+  (* Down edges: ToR -> destination endpoint (host or GPU NIC). *)
+  Hashtbl.iter
+    (fun tor eps ->
+      List.iter (fun e -> add_edge g acc ~parent:tor ~child:e) (List.sort compare eps))
+    by_tor;
+  Tree.of_parents g ~root:source ~parents:acc.bindings
+
+let cost_lower_bound fabric ~source ~dests =
+  Tree.cost (build fabric ~source ~dests)

@@ -1,0 +1,26 @@
+(** Optimal multicast tree in a failure-free (symmetric) Clos.
+
+    Implements Lemma 2.1 of the paper: in a symmetric fabric the core
+    tier collapses into a logical super-node, so the minimum-cost
+    multicast tree is the unique layered tree through one (arbitrary)
+    spine/core, built in [O(|D|)] time.  For a fat-tree the analogous
+    construction routes through one aggregation switch per involved pod
+    and a single core switch; edges are only added for tiers the
+    destination set actually needs (same-ToR, same-pod and cross-pod
+    destinations each stop at the lowest sufficient tier).
+
+    Endpoints may be GPUs or hosts; either way each endpoint hangs
+    directly off its ToR (GPUs through their dedicated NIC), which is
+    where in-network multicast replicates the last copy. *)
+
+open Peel_topology
+
+val build : Fabric.t -> source:int -> dests:int list -> Tree.t
+(** Raises [Invalid_argument] if a required link is down (the fabric is
+    not symmetric) or if [source]/[dests] are not endpoints.  The source
+    is removed from [dests] if present. *)
+
+val cost_lower_bound : Fabric.t -> source:int -> dests:int list -> int
+(** The bandwidth-optimal link count for the group, i.e. the cost of the
+    tree [build] returns; exposed separately so benchmarks can report
+    the optimum without materializing the tree. *)

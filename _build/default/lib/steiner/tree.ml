@@ -1,0 +1,118 @@
+open Peel_topology
+
+module Imap = Map.Make (Int)
+
+type t = {
+  root : int;
+  parents : (int * int) Imap.t; (* node -> (parent, link id) *)
+  child_map : (int * int) list Imap.t; (* node -> (child, link id), ascending *)
+}
+
+let root t = t.root
+
+let of_parents g ~root ~parents =
+  let pmap =
+    List.fold_left
+      (fun acc (node, (parent, lid)) ->
+        if Imap.mem node acc then
+          invalid_arg "Tree.of_parents: duplicate binding for a node";
+        if node = root then invalid_arg "Tree.of_parents: root cannot have a parent";
+        let l = Graph.link g lid in
+        if l.Graph.src <> parent || l.Graph.dst <> node then
+          invalid_arg "Tree.of_parents: link does not run parent->node";
+        Imap.add node (parent, lid) acc)
+      Imap.empty parents
+  in
+  (* Every parent chain must reach the root without cycling. *)
+  let n = List.length parents in
+  Imap.iter
+    (fun node _ ->
+      let rec walk v steps =
+        if v = root then ()
+        else if steps > n then
+          invalid_arg "Tree.of_parents: parent chain does not reach the root"
+        else
+          match Imap.find_opt v pmap with
+          | None -> invalid_arg "Tree.of_parents: parent chain does not reach the root"
+          | Some (p, _) -> walk p (steps + 1)
+      in
+      walk node 0)
+    pmap;
+  let child_map =
+    Imap.fold
+      (fun node (parent, lid) acc ->
+        let existing = Option.value (Imap.find_opt parent acc) ~default:[] in
+        Imap.add parent ((node, lid) :: existing) acc)
+      pmap Imap.empty
+    |> Imap.map (List.sort compare)
+  in
+  { root; parents = pmap; child_map }
+
+let members t =
+  t.root :: Imap.fold (fun node _ acc -> node :: acc) t.parents []
+  |> List.sort_uniq compare
+
+let mem t v = v = t.root || Imap.mem v t.parents
+let parent t v = Imap.find_opt v t.parents
+
+let children t v = Option.value (Imap.find_opt v t.child_map) ~default:[]
+
+let edges t =
+  Imap.fold (fun node (parent, lid) acc -> (parent, node, lid) :: acc) t.parents []
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+
+let link_ids t = Imap.fold (fun _ (_, lid) acc -> lid :: acc) t.parents []
+let cost t = Imap.cardinal t.parents
+
+let switch_members g t =
+  List.filter
+    (fun v -> Graph.kind_is_switch (Graph.node g v).Graph.kind)
+    (members t)
+
+let depth t v =
+  if not (mem t v) then raise Not_found;
+  let rec up v acc =
+    match Imap.find_opt v t.parents with
+    | None -> acc
+    | Some (p, _) -> up p (acc + 1)
+  in
+  up v 0
+
+let max_depth t =
+  Imap.fold (fun node _ acc -> max acc (depth t node)) t.parents 0
+
+let path_from_root t v =
+  if not (mem t v) then raise Not_found;
+  let rec up v acc =
+    match Imap.find_opt v t.parents with
+    | None -> v :: acc
+    | Some (p, _) -> up p (v :: acc)
+  in
+  up v []
+
+let validate g t ~dests =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_edge node (parent, lid) =
+    if lid < 0 || lid >= Graph.num_links g then
+      fail "node %d: link %d out of range" node lid
+    else begin
+      let l = Graph.link g lid in
+      if l.Graph.src <> parent || l.Graph.dst <> node then
+        fail "node %d: link %d does not run %d->%d" node lid parent node
+      else if not l.Graph.up then fail "node %d: link %d is down" node lid
+      else Ok ()
+    end
+  in
+  let rec first_error = function
+    | [] -> Ok ()
+    | (node, pe) :: rest -> (
+        match check_edge node pe with Ok () -> first_error rest | e -> e)
+  in
+  match first_error (Imap.bindings t.parents) with
+  | Error _ as e -> e
+  | Ok () ->
+      let missing = List.filter (fun d -> not (mem t d)) dests in
+      if missing <> [] then
+        fail "destinations not spanned: %s"
+          (String.concat "," (List.map string_of_int missing))
+      else Ok ()

@@ -1,0 +1,56 @@
+(** Multicast (Steiner) trees over a fabric graph.
+
+    A tree is rooted at the multicast source; every other member has
+    exactly one parent edge pointing toward the root.  Edges are
+    directed graph links (root-to-leaf direction), so a tree doubles as
+    the exact set of links a multicast packet traverses. *)
+
+open Peel_topology
+
+type t
+
+val root : t -> int
+
+val of_parents : Graph.t -> root:int -> parents:(int * (int * int)) list -> t
+(** [of_parents g ~root ~parents] builds a tree from
+    [(node, (parent, link_id))] bindings.  The link must run
+    parent->node.  Raises [Invalid_argument] on inconsistent input
+    (wrong link endpoints, duplicate binding for a node, or a parent
+    chain that does not reach the root). *)
+
+val members : t -> int list
+(** All nodes in the tree (root included), ascending. *)
+
+val mem : t -> int -> bool
+
+val parent : t -> int -> (int * int) option
+(** [(parent_node, link_id)], [None] for the root or non-members. *)
+
+val children : t -> int -> (int * int) list
+(** [(child_node, link_id)] pairs, ascending child order. *)
+
+val edges : t -> (int * int * int) list
+(** [(parent, child, link_id)] triples, ascending child order. *)
+
+val link_ids : t -> int list
+(** The directed links of the tree (one per non-root member). *)
+
+val cost : t -> int
+(** Number of edges = number of directed links used. *)
+
+val switch_members : Graph.t -> t -> int list
+(** Members that are switches (ToR/Agg/Core/Spine). *)
+
+val depth : t -> int -> int
+(** Hops from the root to a member; raises [Not_found] for
+    non-members. *)
+
+val max_depth : t -> int
+
+val path_from_root : t -> int -> int list
+(** Node ids from the root down to the given member, inclusive. *)
+
+val validate : Graph.t -> t -> dests:int list -> (unit, string) result
+(** Structural check: every non-root member's parent edge exists in the
+    graph, runs parent->child, and is up; parent chains terminate at the
+    root (no cycles); every destination is a member. *)

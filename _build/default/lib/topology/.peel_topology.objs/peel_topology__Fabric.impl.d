@@ -1,0 +1,1 @@
+lib/topology/fabric.ml: Array Fat_tree Float Graph Leaf_spine List Peel_util Printf Rail

@@ -1,0 +1,1 @@
+lib/topology/fabric.mli: Fat_tree Graph Leaf_spine Peel_util Rail

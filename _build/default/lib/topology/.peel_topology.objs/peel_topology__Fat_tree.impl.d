@@ -1,0 +1,1 @@
+lib/topology/fat_tree.ml: Array Graph List Option

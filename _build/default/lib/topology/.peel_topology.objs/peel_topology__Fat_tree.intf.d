@@ -1,0 +1,1 @@
+lib/topology/fat_tree.mli: Graph

@@ -1,0 +1,1 @@
+lib/topology/leaf_spine.ml: Array Graph List

@@ -1,0 +1,1 @@
+lib/topology/rail.ml: Array Graph List

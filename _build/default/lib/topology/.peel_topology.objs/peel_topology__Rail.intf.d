@@ -1,0 +1,1 @@
+lib/topology/rail.mli: Graph

@@ -1,0 +1,155 @@
+type t = Ft of Fat_tree.t | Ls of Leaf_spine.t | Rl of Rail.t
+
+let fat_tree ?hosts_per_tor ?gpus_per_host ?link_bw ?nvlink_bw ?link_latency ~k
+    () =
+  Ft (Fat_tree.create ?hosts_per_tor ?gpus_per_host ?link_bw ?nvlink_bw
+        ?link_latency ~k ())
+
+let leaf_spine ?gpus_per_host ?link_bw ?nvlink_bw ?link_latency ~spines ~leaves
+    ~hosts_per_leaf () =
+  Ls (Leaf_spine.create ?gpus_per_host ?link_bw ?nvlink_bw ?link_latency ~spines
+        ~leaves ~hosts_per_leaf ())
+
+let rail ?link_bw ?nvlink_bw ?link_latency ~rails ~groups ~servers_per_group
+    ~spines () =
+  Rl (Rail.create ?link_bw ?nvlink_bw ?link_latency ~rails ~groups
+        ~servers_per_group ~spines ())
+
+let graph = function
+  | Ft f -> f.Fat_tree.graph
+  | Ls l -> l.Leaf_spine.graph
+  | Rl r -> r.Rail.graph
+
+let gpus = function
+  | Ft f -> f.Fat_tree.gpus
+  | Ls l -> l.Leaf_spine.gpus
+  | Rl r -> r.Rail.gpus
+
+let hosts = function
+  | Ft f -> f.Fat_tree.hosts
+  | Ls l -> l.Leaf_spine.hosts
+  | Rl r -> r.Rail.hosts
+
+let tors = function
+  | Ft f -> f.Fat_tree.tors
+  | Ls l -> l.Leaf_spine.leaves
+  | Rl r -> r.Rail.tors
+
+let endpoints t =
+  let g = gpus t in
+  if Array.length g > 0 then g else hosts t
+
+let host_of_gpu t gpu =
+  let a =
+    match t with
+    | Ft f -> f.Fat_tree.host_of_gpu
+    | Ls l -> l.Leaf_spine.host_of_gpu
+    | Rl r -> r.Rail.host_of_gpu
+  in
+  let h = a.(gpu) in
+  if h < 0 then invalid_arg "Fabric.host_of_gpu: not a GPU node";
+  h
+
+let tor_of_host t host =
+  match t with
+  | Ft f ->
+      let x = f.Fat_tree.tor_of_host.(host) in
+      if x < 0 then invalid_arg "Fabric.tor_of_host: not a host node";
+      x
+  | Ls l ->
+      let x = l.Leaf_spine.leaf_of_host.(host) in
+      if x < 0 then invalid_arg "Fabric.tor_of_host: not a host node";
+      x
+  | Rl _ ->
+      invalid_arg
+        "Fabric.tor_of_host: a rail-optimized server spans every rail ToR"
+
+let endpoint_host t v =
+  match (Graph.node (graph t) v).Graph.kind with
+  | Graph.Gpu -> host_of_gpu t v
+  | Graph.Host -> v
+  | _ -> invalid_arg "Fabric.endpoint_host: not an endpoint"
+
+let attach_tor t v =
+  match t with
+  | Rl r ->
+      let tor = r.Rail.tor_of_gpu.(v) in
+      if tor < 0 then invalid_arg "Fabric.attach_tor: not a rail endpoint";
+      tor
+  | Ft _ | Ls _ -> tor_of_host t (endpoint_host t v)
+
+let pods = function Ft f -> f.Fat_tree.pods | Ls _ -> 1 | Rl _ -> 1
+
+let tors_per_pod = function
+  | Ft f -> f.Fat_tree.k / 2
+  | Ls l -> Array.length l.Leaf_spine.leaves
+  | Rl r -> Array.length r.Rail.tors
+
+let pod_of_tor t tor =
+  match t with
+  | Ft _ -> (Graph.node (graph t) tor).Graph.pod
+  | Ls _ | Rl _ -> 0
+
+let tor_idx_in_pod t tor = (Graph.node (graph t) tor).Graph.idx
+
+let tors_of_pod t p =
+  match t with
+  | Ft f -> f.Fat_tree.tors_of_pod.(p)
+  | Ls l ->
+      if p <> 0 then invalid_arg "Fabric.tors_of_pod: leaf-spine has one pod";
+      l.Leaf_spine.leaves
+  | Rl r ->
+      if p <> 0 then invalid_arg "Fabric.tors_of_pod: rail fabric has one pod";
+      r.Rail.tors
+
+let failure_domain t tier =
+  match t with
+  | Ft f -> Fat_tree.fabric_duplex_links f tier
+  | Ls l -> Leaf_spine.spine_leaf_duplex_links l
+  | Rl r -> Rail.spine_tor_duplex_links r
+
+let fail_random t ~rng ~tier ~fraction ?(ensure_connected = true) () =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Fabric.fail_random: fraction in [0,1]";
+  let g = graph t in
+  let candidates =
+    Array.to_list (failure_domain t tier)
+    |> List.filter (fun id -> Graph.link_up g id)
+    |> Array.of_list
+  in
+  let n = Array.length candidates in
+  let count = int_of_float (Float.round (fraction *. float_of_int n)) in
+  let host_list = Array.to_list (hosts t) in
+  let attempt () =
+    let picks =
+      Peel_util.Rng.sample_without_replacement rng n count
+      |> List.map (fun i -> candidates.(i))
+    in
+    List.iter (Graph.fail_link g) picks;
+    if (not ensure_connected) || Graph.connected g host_list then Some picks
+    else begin
+      List.iter (Graph.restore_link g) picks;
+      None
+    end
+  in
+  let rec retry attempts =
+    if attempts = 0 then
+      failwith "Fabric.fail_random: could not keep hosts connected"
+    else
+      match attempt () with Some picks -> picks | None -> retry (attempts - 1)
+  in
+  retry 100
+
+let describe t =
+  match t with
+  | Ft f ->
+      Printf.sprintf "fat-tree k=%d (%d hosts, %d gpus)" f.Fat_tree.k
+        (Fat_tree.num_hosts f) (Fat_tree.num_gpus f)
+  | Ls l ->
+      Printf.sprintf "leaf-spine %dx%d (%d hosts, %d gpus)"
+        (Array.length l.Leaf_spine.spines)
+        (Array.length l.Leaf_spine.leaves)
+        (Leaf_spine.num_hosts l) (Leaf_spine.num_gpus l)
+  | Rl r ->
+      Printf.sprintf "rail-optimized %d rails x %d groups x %d servers (%d gpus)"
+        r.Rail.rails r.Rail.groups r.Rail.servers_per_group (Rail.num_gpus r)

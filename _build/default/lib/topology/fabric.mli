@@ -1,0 +1,94 @@
+(** Unified view over the two Clos flavours the paper evaluates.
+
+    Upper layers (Steiner trees, the prefix engine, the simulator) are
+    written against this interface so each algorithm runs unchanged on a
+    fat-tree or a leaf–spine.  For a leaf–spine the whole fabric is
+    treated as a single pod whose "ToRs" are the leaves. *)
+
+type t = Ft of Fat_tree.t | Ls of Leaf_spine.t | Rl of Rail.t
+
+val fat_tree :
+  ?hosts_per_tor:int ->
+  ?gpus_per_host:int ->
+  ?link_bw:float ->
+  ?nvlink_bw:float ->
+  ?link_latency:float ->
+  k:int ->
+  unit ->
+  t
+
+val leaf_spine :
+  ?gpus_per_host:int ->
+  ?link_bw:float ->
+  ?nvlink_bw:float ->
+  ?link_latency:float ->
+  spines:int ->
+  leaves:int ->
+  hosts_per_leaf:int ->
+  unit ->
+  t
+
+val rail :
+  ?link_bw:float ->
+  ?nvlink_bw:float ->
+  ?link_latency:float ->
+  rails:int ->
+  groups:int ->
+  servers_per_group:int ->
+  spines:int ->
+  unit ->
+  t
+(** Rail-optimized fabric (§2.1 future work): GPU [r] of every server
+    attaches to its group's rail-[r] ToR; rail ToRs connect to all
+    spines. One flat pod for prefix addressing. *)
+
+val graph : t -> Graph.t
+val gpus : t -> int array
+val hosts : t -> int array
+val tors : t -> int array
+
+val endpoints : t -> int array
+(** The nodes collectives run between: GPUs when present, hosts
+    otherwise. *)
+
+val host_of_gpu : t -> int -> int
+val tor_of_host : t -> int -> int
+(** Raises [Invalid_argument] on rail fabrics, where a server spans
+    every rail ToR — use [attach_tor] on the GPU instead. *)
+
+val endpoint_host : t -> int -> int
+(** The host NIC serving an endpoint (identity for a host node). *)
+
+val attach_tor : t -> int -> int
+(** ToR/leaf switch serving an endpoint (GPU or host). *)
+
+val pods : t -> int
+val tors_per_pod : t -> int
+
+val pod_of_tor : t -> int -> int
+val tor_idx_in_pod : t -> int -> int
+(** Identifier of a ToR within its pod — the address space the prefix
+    engine encodes. *)
+
+val tors_of_pod : t -> int -> int array
+
+val failure_domain : t -> [ `Tor_up | `Agg_up | `All ] -> int array
+(** Candidate duplex link ids for failure injection.  For a leaf–spine,
+    every tier maps to the spine–leaf links. *)
+
+val fail_random :
+  t ->
+  rng:Peel_util.Rng.t ->
+  tier:[ `Tor_up | `Agg_up | `All ] ->
+  fraction:float ->
+  ?ensure_connected:bool ->
+  unit ->
+  int list
+(** Fail [fraction] of the tier's duplex links uniformly at random;
+    returns the failed duplex ids.  With [ensure_connected] (default
+    true) the draw is retried (up to 100 times) until all hosts remain
+    mutually reachable; raises [Failure] if that proves impossible.
+    Previously injected failures are untouched. *)
+
+val describe : t -> string
+(** One-line human description, e.g. "fat-tree k=8 (128 hosts, 1024 gpus)". *)

@@ -1,0 +1,120 @@
+(** Directed-graph substrate for Clos fabrics.
+
+    Every physical cable is represented as a pair of directed links with
+    ids [2n] and [2n+1]; [peer_link] maps one direction to the other.
+    Links can be marked down to model failures (the paper's "asymmetric
+    Clos"); all traversals honour link state.
+
+    Node ids are dense (0..n-1) and index into arrays everywhere, which
+    keeps BFS and the simulator allocation-free on the hot path. *)
+
+type kind =
+  | Gpu   (** accelerator with a dedicated NIC to the ToR plus NVLink *)
+  | Host  (** server NIC (no GPUs) or the server's NVSwitch (with GPUs) *)
+  | Tor   (** top-of-rack / edge / leaf switch *)
+  | Agg   (** aggregation switch (fat-tree middle tier) *)
+  | Core  (** fat-tree core switch *)
+  | Spine (** leaf–spine spine switch *)
+
+val kind_to_string : kind -> string
+val kind_is_switch : kind -> bool
+
+type node = {
+  id : int;
+  kind : kind;
+  pod : int;  (** pod number; -1 when not applicable (cores, spines) *)
+  idx : int;  (** index within its kind group (e.g. ToR number in pod) *)
+}
+
+type link = {
+  link_id : int;
+  src : int;
+  dst : int;
+  bandwidth : float;  (** bytes per second *)
+  latency : float;    (** propagation delay, seconds *)
+  mutable up : bool;
+}
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : unit -> t
+
+  val add_node : t -> kind -> pod:int -> idx:int -> int
+  (** Returns the new node's id. *)
+
+  val add_duplex : t -> ?latency:float -> bandwidth:float -> int -> int -> int
+  (** [add_duplex b a c] adds links [a -> c] and [c -> a]; returns the
+      id of the [a -> c] direction (the peer is that id xor 1).
+      Default latency is 500 ns. *)
+
+  val finish : t -> graph
+end
+
+(** {1 Accessors} *)
+
+val num_nodes : t -> int
+val num_links : t -> int
+val node : t -> int -> node
+val link : t -> int -> link
+val nodes : t -> node array
+val links : t -> link array
+
+val peer_link : int -> int
+(** The opposite direction of a duplex pair. *)
+
+val out_links : t -> int -> (int * int) array
+(** [out_links t v] are [(neighbor, link_id)] pairs, including links
+    currently down — callers filter via [link_up]. *)
+
+val link_up : t -> int -> bool
+val link_between : t -> int -> int -> int option
+(** First (lowest-id) up link from one node to another, if any. *)
+
+val fold_kind : t -> kind -> ('a -> node -> 'a) -> 'a -> 'a
+val nodes_of_kind : t -> kind -> int array
+
+(** {1 Failures} *)
+
+val fail_link : t -> int -> unit
+(** Marks both directions of the duplex pair containing this id down. *)
+
+val restore_link : t -> int -> unit
+val restore_all : t -> unit
+
+val duplex_ids : t -> int array
+(** One id per duplex pair (the even direction). *)
+
+(** {1 Traversal} *)
+
+val unreachable : int
+(** Distance marker for unreachable nodes. *)
+
+val bfs_dist : t -> int -> int array
+(** Hop distance from a source over up links. *)
+
+val bfs_dist_filtered : t -> int -> allow:(node -> bool) -> int array
+(** BFS restricted to nodes satisfying [allow] (the source is always
+    allowed). *)
+
+val hop_layers : t -> int -> int list array
+(** [hop_layers t s].(d) lists node ids at distance [d] from [s],
+    ascending id order; length is [max_dist + 1]. *)
+
+val shortest_path : t -> int -> int -> int list option
+(** Node ids from source to destination inclusive; deterministic
+    (lowest-id parent wins). [None] if unreachable. *)
+
+val shortest_path_ecmp : t -> int -> int -> salt:int -> int list option
+(** Like [shortest_path] but hash-selects among equal-cost predecessors
+    (keyed on endpoints, hop and [salt]) — the per-flow path diversity
+    ECMP provides in a real Clos.  Deterministic for a given
+    (src, dst, salt). *)
+
+val connected : t -> int list -> bool
+(** Whether all listed nodes are mutually reachable over up links. *)

@@ -1,0 +1,28 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let ilog2 n =
+  if n <= 0 then invalid_arg "Bits.ilog2";
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let ceil_log2 n =
+  if n <= 0 then invalid_arg "Bits.ceil_log2";
+  let f = ilog2 n in
+  if is_power_of_two n then f else f + 1
+
+let pow2 n =
+  if n < 0 || n >= 62 then invalid_arg "Bits.pow2";
+  1 lsl n
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Bits.ceil_div";
+  (a + b - 1) / b
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let bit x i = (x lsr i) land 1 = 1
+
+let bits_to_string ~width x =
+  String.init width (fun i -> if bit x (width - 1 - i) then '1' else '0')

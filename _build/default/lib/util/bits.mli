@@ -1,0 +1,26 @@
+(** Small integer/bit utilities used by topology addressing and the
+    prefix engine. *)
+
+val is_power_of_two : int -> bool
+(** [is_power_of_two n] for [n >= 1]; [false] for [n <= 0]. *)
+
+val ilog2 : int -> int
+(** Floor of log2; raises [Invalid_argument] for [n <= 0]. *)
+
+val ceil_log2 : int -> int
+(** Ceiling of log2; [ceil_log2 1 = 0]. Raises for [n <= 0]. *)
+
+val pow2 : int -> int
+(** [pow2 n] = 2^n for [0 <= n < 62]. *)
+
+val ceil_div : int -> int -> int
+(** Integer division rounding up. *)
+
+val popcount : int -> int
+(** Number of set bits (for non-negative arguments). *)
+
+val bit : int -> int -> bool
+(** [bit x i] is the [i]-th least significant bit of [x]. *)
+
+val bits_to_string : width:int -> int -> string
+(** MSB-first binary rendering, e.g. [bits_to_string ~width:3 5 = "101"]. *)

@@ -1,0 +1,78 @@
+(* A flat-array binary heap.  Each entry carries a monotonically
+   increasing sequence number so that equal priorities pop in insertion
+   order, keeping simulations deterministic across runs. *)
+
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+(* Grow the backing array, filling fresh slots with [seed]; slots beyond
+   [size] are never read. *)
+let grow t seed =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  let bigger = Array.make ncap seed in
+  Array.blit t.data 0 bigger 0 t.size;
+  t.data <- bigger
+
+let push t prio value =
+  let e = { prio; seq = t.next_seq; value } in
+  if t.size >= Array.length t.data then grow t e;
+  t.next_seq <- t.next_seq + 1;
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  t.data.(!i) <- e;
+  (* Sift up. *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if lt t.data.(!i) t.data.(parent) then begin
+      let tmp = t.data.(parent) in
+      t.data.(parent) <- t.data.(!i);
+      t.data.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let sift_down t =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && lt t.data.(l) t.data.(!smallest) then smallest := l;
+    if r < t.size && lt t.data.(r) t.data.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = t.data.(!smallest) in
+      t.data.(!smallest) <- t.data.(!i);
+      t.data.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek t = if t.size = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
+let is_empty t = t.size = 0
+let length t = t.size
+let clear t = t.size <- 0

@@ -1,0 +1,22 @@
+(** Imperative binary min-heap keyed by float priority.
+
+    This is the event queue of the discrete-event simulator, so the
+    implementation favours low constant factors: a flat array, no
+    per-node allocation beyond the stored element.  Ties are broken by
+    insertion order (FIFO) so simulation runs are fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> float -> 'a -> unit
+(** [push t p x] inserts [x] with priority [p]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element; FIFO among equal
+    priorities. *)
+
+val peek : 'a t -> (float * 'a) option
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val clear : 'a t -> unit

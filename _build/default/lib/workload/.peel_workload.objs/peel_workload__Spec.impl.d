@@ -1,0 +1,1 @@
+lib/workload/spec.ml: Array Fabric Fat_tree Leaf_spine List Peel_topology Peel_util Rail

@@ -1,0 +1,1 @@
+lib/workload/spec.mli: Fabric Peel_topology Peel_util

@@ -1,0 +1,49 @@
+(** Workload generation: Poisson collective arrivals with bin-packed
+    (locality-honouring) GPU placement, per the paper's experimental
+    setup (§4: "arrivals follow a Poisson process, parameterized by
+    scale and message size; GPU selections honor job locality").
+
+    Placement picks a contiguous run of endpoints aligned to server
+    boundaries — the bin-packing GPU schedulers perform — with an
+    optional [fragmentation] knob that relocates a fraction of the
+    servers uniformly at random, for the paper's §3.4 open question. *)
+
+open Peel_topology
+
+type collective = {
+  id : int;
+  arrival : float;         (** seconds *)
+  source : int;            (** a member endpoint *)
+  dests : int list;        (** members except the source *)
+  members : int list;      (** all group endpoints, ascending *)
+  bytes : float;           (** message size *)
+}
+
+val place :
+  Fabric.t ->
+  Peel_util.Rng.t ->
+  scale:int ->
+  ?fragmentation:float ->
+  unit ->
+  int list
+(** Pick [scale] member endpoints.  Raises [Invalid_argument] if
+    [scale] exceeds the endpoint count or is < 2, or if
+    [fragmentation] is outside [0, 1]. *)
+
+val mean_interarrival :
+  Fabric.t -> scale:int -> bytes:float -> load:float -> float
+(** Interarrival time such that delivered bytes ([bytes * scale] per
+    collective) average [load] of the aggregate endpoint NIC capacity. *)
+
+val poisson_broadcasts :
+  Fabric.t ->
+  Peel_util.Rng.t ->
+  n:int ->
+  scale:int ->
+  bytes:float ->
+  load:float ->
+  ?fragmentation:float ->
+  unit ->
+  collective list
+(** [n] broadcasts with exponential interarrivals, fresh placement and
+    a uniformly random member as source for each. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Binary_tree Fabric Float List Orca Peel_baselines Peel_steiner Peel_topology Peel_util QCheck QCheck_alcotest Ring Rsbf Traffic

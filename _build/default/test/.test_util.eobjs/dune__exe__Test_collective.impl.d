@@ -1,0 +1,1 @@
+test/test_collective.ml: Alcotest Array Broadcast Fabric Float List Peel_collective Peel_sim Peel_topology Peel_util Peel_workload Runner Scheme Spec

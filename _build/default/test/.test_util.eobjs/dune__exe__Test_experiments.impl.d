@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Common Exp_approx Exp_fig1 Exp_fig3 Exp_state Exp_tenancy List Peel_experiments

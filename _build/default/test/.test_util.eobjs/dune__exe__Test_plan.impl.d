@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Array Fabric Fat_tree Graph List Peel Peel_prefix Peel_steiner Peel_topology Peel_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_prefix.ml: Alcotest Array Cover Header List Peel_prefix Peel_util Printf QCheck QCheck_alcotest Rules

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dcqcn Engine Float Graph Hashtbl Link_state List Peel_sim Peel_steiner Peel_topology QCheck QCheck_alcotest Transfer

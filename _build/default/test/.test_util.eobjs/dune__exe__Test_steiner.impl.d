@@ -1,0 +1,1 @@
+test/test_steiner.ml: Alcotest Array Exact Fabric Fat_tree Graph Layer_peel Leaf_spine List Option Peel_steiner Peel_topology Peel_util QCheck QCheck_alcotest String Symmetric Tree

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Fabric Fat_tree Graph Leaf_spine List Peel_topology Peel_util QCheck QCheck_alcotest Rail

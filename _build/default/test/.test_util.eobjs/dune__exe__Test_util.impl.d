@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bits Float Gen List Pairing_heap Peel_util QCheck QCheck_alcotest Rng Stats String Table

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fabric Float Hashtbl List Peel_topology Peel_util Peel_workload QCheck QCheck_alcotest Spec

@@ -1,0 +1,389 @@
+(* Tests for peel_util: PRNG determinism and distributions, statistics,
+   the event-queue heap, bit utilities, and table rendering. *)
+
+open Peel_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let all_equal = ref true in
+  for _ = 1 to 16 do
+    if Rng.bits64 a <> Rng.bits64 b then all_equal := false
+  done;
+  Alcotest.(check bool) "different seeds differ" false !all_equal
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let a = Rng.bits64 parent and b = Rng.bits64 child in
+  Alcotest.(check bool) "split stream differs" true (a <> b)
+
+let test_rng_copy () =
+  let a = Rng.create 9 in
+  let _ = Rng.bits64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let t = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int t 10 in
+    Alcotest.(check bool) "0 <= x < 10" true (x >= 0 && x < 10)
+  done
+
+let test_rng_int_invalid () =
+  let t = Rng.create 3 in
+  Alcotest.check_raises "non-positive bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int t 0))
+
+let test_rng_int_in () =
+  let t = Rng.create 4 in
+  for _ = 1 to 500 do
+    let x = Rng.int_in t (-5) 5 in
+    Alcotest.(check bool) "in range" true (x >= -5 && x <= 5)
+  done
+
+let test_rng_float_bounds () =
+  let t = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Rng.float t 2.5 in
+    Alcotest.(check bool) "0 <= x < 2.5" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_rng_exponential_mean () =
+  let t = Rng.create 6 in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.exponential t ~mean:3.0 in
+    Alcotest.(check bool) "positive" true (x >= 0.0);
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 3.0" true (Float.abs (mean -. 3.0) < 0.15)
+
+let test_rng_normal_moments () =
+  let t = Rng.create 8 in
+  let n = 20000 in
+  let acc = Stats.Online.create () in
+  for _ = 1 to n do
+    Stats.Online.add acc (Rng.normal t ~mu:10.0 ~sigma:2.0)
+  done;
+  Alcotest.(check bool) "mean near 10" true (Float.abs (Stats.Online.mean acc -. 10.0) < 0.1);
+  Alcotest.(check bool) "stddev near 2" true (Float.abs (Stats.Online.stddev acc -. 2.0) < 0.1)
+
+let test_rng_normal_pos () =
+  let t = Rng.create 11 in
+  for _ = 1 to 2000 do
+    let x = Rng.normal_pos t ~mu:0.01 ~sigma:0.005 in
+    Alcotest.(check bool) "non-negative" true (x >= 0.0)
+  done
+
+let test_rng_shuffle_permutation () =
+  let t = Rng.create 12 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_sample_without_replacement () =
+  let t = Rng.create 13 in
+  let s = Rng.sample_without_replacement t 100 10 in
+  Alcotest.(check int) "10 samples" 10 (List.length s);
+  Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare s));
+  List.iter (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 100)) s
+
+let test_rng_sample_all () =
+  let t = Rng.create 14 in
+  let s = Rng.sample_without_replacement t 5 5 in
+  Alcotest.(check (list int)) "full range" [ 0; 1; 2; 3; 4 ] s
+
+(* Property: sample_without_replacement always returns distinct sorted
+   values in range. *)
+let prop_sample =
+  QCheck.Test.make ~name:"sample_without_replacement distinct sorted"
+    QCheck.(pair (int_range 1 200) small_nat)
+    (fun (n, k) ->
+      let k = min k n in
+      let t = Rng.create (n + (k * 1000)) in
+      let s = Rng.sample_without_replacement t n k in
+      List.length s = k
+      && List.sort_uniq compare s = s
+      && List.for_all (fun x -> x >= 0 && x < n) s)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_summary_basic () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  check_float "mean" 3.0 s.mean;
+  check_float "min" 1.0 s.min;
+  check_float "max" 5.0 s.max;
+  check_float "p50" 3.0 s.p50;
+  Alcotest.(check int) "count" 5 s.count
+
+let test_stats_single () =
+  let s = Stats.summarize [ 7.5 ] in
+  check_float "mean" 7.5 s.mean;
+  check_float "p99" 7.5 s.p99;
+  check_float "stddev" 0.0 s.stddev
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty raises" (Invalid_argument "Stats.summarize: empty sample")
+    (fun () -> ignore (Stats.summarize []))
+
+let test_stats_percentile_interpolation () =
+  let sorted = [| 0.0; 10.0 |] in
+  check_float "p50 interpolates" 5.0 (Stats.percentile sorted 0.5)
+
+let test_stats_p99_tail () =
+  (* 99 zeros and a single 100: p99 should be pulled toward the tail. *)
+  let samples = Array.make 100 0.0 in
+  samples.(99) <- 100.0;
+  let s = Stats.summarize_array samples in
+  Alcotest.(check bool) "p99 sees tail" true (s.p99 > 0.0);
+  check_float "mean" 1.0 s.mean
+
+let test_stats_online_matches_batch () =
+  let rng = Rng.create 21 in
+  let xs = List.init 1000 (fun _ -> Rng.float rng 100.0) in
+  let acc = Stats.Online.create () in
+  List.iter (Stats.Online.add acc) xs;
+  let batch = Stats.summarize xs in
+  Alcotest.(check bool) "mean matches" true
+    (Float.abs (Stats.Online.mean acc -. batch.mean) < 1e-9);
+  Alcotest.(check bool) "stddev matches" true
+    (Float.abs (Stats.Online.stddev acc -. batch.stddev) < 1e-6)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.6; 9.9; -3.0; 42.0 ];
+  let counts = Stats.Histogram.counts h in
+  Alcotest.(check int) "bin 0 (incl. clamp below)" 2 counts.(0);
+  Alcotest.(check int) "bin 1" 2 counts.(1);
+  Alcotest.(check int) "bin 9 (incl. clamp above)" 2 counts.(9);
+  Alcotest.(check int) "total" 6 (Stats.Histogram.total h)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles monotone in q"
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_range 0.0 1000.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let p25 = Stats.percentile a 0.25
+      and p50 = Stats.percentile a 0.50
+      and p75 = Stats.percentile a 0.75 in
+      p25 <= p50 && p50 <= p75)
+
+let prop_summary_bounds =
+  QCheck.Test.make ~name:"mean within [min,max]"
+    QCheck.(list_of_size (Gen.int_range 1 100) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let s = Stats.summarize xs in
+      s.min <= s.mean && s.mean <= s.max && s.min <= s.p99 && s.p99 <= s.max)
+
+(* ------------------------------------------------------------------ *)
+(* Pairing_heap                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let h = Pairing_heap.create () in
+  List.iter (fun (p, v) -> Pairing_heap.push h p v)
+    [ (3.0, "c"); (1.0, "a"); (2.0, "b"); (0.5, "z") ];
+  let order = ref [] in
+  let rec drain () =
+    match Pairing_heap.pop h with
+    | None -> ()
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "min-first" [ "z"; "a"; "b"; "c" ] (List.rev !order)
+
+let test_heap_fifo_ties () =
+  let h = Pairing_heap.create () in
+  List.iter (fun v -> Pairing_heap.push h 1.0 v) [ 1; 2; 3; 4; 5 ];
+  let out = ref [] in
+  let rec drain () =
+    match Pairing_heap.pop h with
+    | None -> ()
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "insertion order for equal priorities" [ 1; 2; 3; 4; 5 ]
+    (List.rev !out)
+
+let test_heap_empty () =
+  let h = Pairing_heap.create () in
+  Alcotest.(check bool) "empty" true (Pairing_heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Pairing_heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Pairing_heap.peek h = None)
+
+let test_heap_interleaved () =
+  let h = Pairing_heap.create () in
+  Pairing_heap.push h 5.0 5;
+  Pairing_heap.push h 1.0 1;
+  (match Pairing_heap.pop h with
+  | Some (p, v) ->
+      check_float "prio" 1.0 p;
+      Alcotest.(check int) "val" 1 v
+  | None -> Alcotest.fail "expected element");
+  Pairing_heap.push h 0.5 0;
+  (match Pairing_heap.peek h with
+  | Some (_, v) -> Alcotest.(check int) "peek smallest" 0 v
+  | None -> Alcotest.fail "expected element");
+  Alcotest.(check int) "length" 2 (Pairing_heap.length h)
+
+let test_heap_clear () =
+  let h = Pairing_heap.create () in
+  Pairing_heap.push h 1.0 ();
+  Pairing_heap.clear h;
+  Alcotest.(check bool) "cleared" true (Pairing_heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order"
+    QCheck.(list (float_range 0.0 1e6))
+    (fun xs ->
+      let h = Pairing_heap.create () in
+      List.iter (fun x -> Pairing_heap.push h x x) xs;
+      let rec drain acc =
+        match Pairing_heap.pop h with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      let drained = drain [] in
+      drained = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Bits                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_bits_power_of_two () =
+  Alcotest.(check bool) "1" true (Bits.is_power_of_two 1);
+  Alcotest.(check bool) "64" true (Bits.is_power_of_two 64);
+  Alcotest.(check bool) "63" false (Bits.is_power_of_two 63);
+  Alcotest.(check bool) "0" false (Bits.is_power_of_two 0);
+  Alcotest.(check bool) "-4" false (Bits.is_power_of_two (-4))
+
+let test_bits_ilog2 () =
+  Alcotest.(check int) "ilog2 1" 0 (Bits.ilog2 1);
+  Alcotest.(check int) "ilog2 2" 1 (Bits.ilog2 2);
+  Alcotest.(check int) "ilog2 3" 1 (Bits.ilog2 3);
+  Alcotest.(check int) "ilog2 1024" 10 (Bits.ilog2 1024)
+
+let test_bits_ceil_log2 () =
+  Alcotest.(check int) "ceil_log2 1" 0 (Bits.ceil_log2 1);
+  Alcotest.(check int) "ceil_log2 3" 2 (Bits.ceil_log2 3);
+  Alcotest.(check int) "ceil_log2 4" 2 (Bits.ceil_log2 4);
+  Alcotest.(check int) "ceil_log2 5" 3 (Bits.ceil_log2 5)
+
+let test_bits_misc () =
+  Alcotest.(check int) "pow2 10" 1024 (Bits.pow2 10);
+  Alcotest.(check int) "ceil_div" 4 (Bits.ceil_div 7 2);
+  Alcotest.(check int) "popcount 255" 8 (Bits.popcount 255);
+  Alcotest.(check bool) "bit 5 0" true (Bits.bit 5 0);
+  Alcotest.(check bool) "bit 5 1" false (Bits.bit 5 1);
+  Alcotest.(check string) "render" "101" (Bits.bits_to_string ~width:3 5)
+
+let prop_bits_roundtrip =
+  QCheck.Test.make ~name:"pow2 inverts ilog2 on powers of two"
+    QCheck.(int_range 0 60)
+    (fun n -> Bits.ilog2 (Bits.pow2 n) = n)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let out = Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "4 lines + trailing" 5 (List.length lines);
+  Alcotest.(check bool) "contains separator" true
+    (List.exists (fun l -> String.length l > 0 && l.[0] = '-') lines)
+
+let test_table_pads_short_rows () =
+  let out = Table.render ~header:[ "a"; "b"; "c" ] [ [ "1" ] ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_table_formats () =
+  Alcotest.(check string) "seconds" "1.500 s" (Table.fsec 1.5);
+  Alcotest.(check string) "millis" "2.000 ms" (Table.fsec 0.002);
+  Alcotest.(check string) "micros" "85.0 us" (Table.fsec 85e-6);
+  Alcotest.(check string) "bytes" "8 B" (Table.fbytes 8.0);
+  Alcotest.(check string) "kb" "1.50 KB" (Table.fbytes 1500.0);
+  Alcotest.(check string) "factor" "5.2x" (Table.ffactor 5.2)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "peel_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy replays" `Quick test_rng_copy;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+          Alcotest.test_case "int_in range" `Quick test_rng_int_in;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+          Alcotest.test_case "normal moments" `Slow test_rng_normal_moments;
+          Alcotest.test_case "normal_pos nonneg" `Quick test_rng_normal_pos;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample w/o replacement" `Quick test_rng_sample_without_replacement;
+          Alcotest.test_case "sample all" `Quick test_rng_sample_all;
+          qt prop_sample;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary basic" `Quick test_stats_summary_basic;
+          Alcotest.test_case "single sample" `Quick test_stats_single;
+          Alcotest.test_case "empty raises" `Quick test_stats_empty;
+          Alcotest.test_case "percentile interpolation" `Quick test_stats_percentile_interpolation;
+          Alcotest.test_case "p99 tail" `Quick test_stats_p99_tail;
+          Alcotest.test_case "online matches batch" `Quick test_stats_online_matches_batch;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          qt prop_percentile_monotone;
+          qt prop_summary_bounds;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          qt prop_heap_sorts;
+        ] );
+      ( "bits",
+        [
+          Alcotest.test_case "power of two" `Quick test_bits_power_of_two;
+          Alcotest.test_case "ilog2" `Quick test_bits_ilog2;
+          Alcotest.test_case "ceil_log2" `Quick test_bits_ceil_log2;
+          Alcotest.test_case "misc" `Quick test_bits_misc;
+          qt prop_bits_roundtrip;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "pads short rows" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "formats" `Quick test_table_formats;
+        ] );
+    ]

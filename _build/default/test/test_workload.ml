@@ -1,0 +1,144 @@
+(* Tests for peel_workload: locality placement, offered-load
+   calibration, Poisson arrival generation, fragmentation knob. *)
+
+open Peel_topology
+open Peel_workload
+module Rng = Peel_util.Rng
+
+let fat8 () = Fabric.fat_tree ~k:8 ~hosts_per_tor:4 ~gpus_per_host:8 ()
+
+let test_place_contiguous_aligned () =
+  let f = fat8 () in
+  let rng = Rng.create 5 in
+  let members = Spec.place f rng ~scale:64 () in
+  Alcotest.(check int) "64 members" 64 (List.length members);
+  (* Contiguous run in the endpoints array (locality order). *)
+  let eps = Fabric.endpoints f in
+  let pos = Hashtbl.create 1024 in
+  Array.iteri (fun i e -> Hashtbl.replace pos e i) eps;
+  let indices = List.map (Hashtbl.find pos) members |> List.sort compare in
+  let first = List.hd indices in
+  List.iteri
+    (fun i idx -> Alcotest.(check int) "contiguous" (first + i) idx)
+    indices;
+  Alcotest.(check int) "server aligned" 0 (first mod 8)
+
+let test_place_full_fabric () =
+  let f = fat8 () in
+  let rng = Rng.create 1 in
+  let members = Spec.place f rng ~scale:1024 () in
+  Alcotest.(check int) "everyone" 1024 (List.length members)
+
+let test_place_errors () =
+  let f = fat8 () in
+  let rng = Rng.create 1 in
+  Alcotest.(check bool) "too big" true
+    (try ignore (Spec.place f rng ~scale:2048 ()); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "too small" true
+    (try ignore (Spec.place f rng ~scale:1 ()); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad fragmentation" true
+    (try ignore (Spec.place f rng ~scale:8 ~fragmentation:1.5 ()); false
+     with Invalid_argument _ -> true)
+
+let test_place_fragmentation_preserves_count () =
+  let f = fat8 () in
+  let rng = Rng.create 9 in
+  for _ = 1 to 20 do
+    let members = Spec.place f rng ~scale:64 ~fragmentation:0.5 () in
+    Alcotest.(check int) "still 64" 64 (List.length members);
+    Alcotest.(check int) "distinct" 64 (List.length (List.sort_uniq compare members))
+  done
+
+let test_fragmentation_spreads_racks () =
+  let f = fat8 () in
+  let count_racks members =
+    List.map (fun e -> Fabric.attach_tor f e) members
+    |> List.sort_uniq compare |> List.length
+  in
+  let rng = Rng.create 42 in
+  let compact = Spec.place f rng ~scale:128 () in
+  let spread = Spec.place f rng ~scale:128 ~fragmentation:0.8 () in
+  Alcotest.(check bool) "fragmented uses >= racks" true
+    (count_racks spread >= count_racks compact)
+
+let test_mean_interarrival_formula () =
+  let f = fat8 () in
+  (* 1024 endpoints x 12.5e9 B/s capacity; scale 512, 8 MB, load 0.3. *)
+  let expect = 8e6 *. 512.0 /. (0.3 *. 1024.0 *. 12.5e9) in
+  Alcotest.(check (float 1e-12)) "formula" expect
+    (Spec.mean_interarrival f ~scale:512 ~bytes:8e6 ~load:0.3)
+
+let test_poisson_broadcasts_shape () =
+  let f = fat8 () in
+  let rng = Rng.create 77 in
+  let cs = Spec.poisson_broadcasts f rng ~n:50 ~scale:64 ~bytes:1e6 ~load:0.3 () in
+  Alcotest.(check int) "50 collectives" 50 (List.length cs);
+  let rec check_monotone prev = function
+    | [] -> ()
+    | (c : Spec.collective) :: rest ->
+        Alcotest.(check bool) "arrivals increase" true (c.arrival > prev);
+        check_monotone c.arrival rest
+  in
+  check_monotone (-1.0) cs;
+  List.iter
+    (fun (c : Spec.collective) ->
+      Alcotest.(check int) "ids unique members" 64 (List.length c.members);
+      Alcotest.(check bool) "source is member" true (List.mem c.source c.members);
+      Alcotest.(check bool) "source not in dests" false (List.mem c.source c.dests);
+      Alcotest.(check int) "dests = members - 1" 63 (List.length c.dests))
+    cs
+
+let test_poisson_interarrival_statistics () =
+  let f = fat8 () in
+  let rng = Rng.create 123 in
+  let cs = Spec.poisson_broadcasts f rng ~n:3000 ~scale:64 ~bytes:1e6 ~load:0.3 () in
+  let mean_expected = Spec.mean_interarrival f ~scale:64 ~bytes:1e6 ~load:0.3 in
+  let arr = List.map (fun (c : Spec.collective) -> c.Spec.arrival) cs in
+  let last = List.nth arr (List.length arr - 1) in
+  let empirical = last /. 3000.0 in
+  Alcotest.(check bool) "empirical mean within 10%" true
+    (Float.abs (empirical -. mean_expected) /. mean_expected < 0.1)
+
+let test_poisson_deterministic () =
+  let f = fat8 () in
+  let gen seed =
+    Spec.poisson_broadcasts f (Rng.create seed) ~n:10 ~scale:32 ~bytes:1e6
+      ~load:0.3 ()
+    |> List.map (fun (c : Spec.collective) -> (c.arrival, c.source))
+  in
+  Alcotest.(check bool) "same seed same workload" true (gen 4 = gen 4);
+  Alcotest.(check bool) "different seed differs" true (gen 4 <> gen 5)
+
+let prop_place_members_are_endpoints =
+  QCheck.Test.make ~name:"placement picks real endpoints" ~count:50
+    QCheck.(pair (int_range 0 10000) (int_range 2 96))
+    (fun (seed, scale) ->
+      let f = Fabric.leaf_spine ~spines:2 ~leaves:6 ~hosts_per_leaf:2 ~gpus_per_host:8 () in
+      let rng = Rng.create seed in
+      let members = Spec.place f rng ~scale () in
+      let eps = Array.to_list (Fabric.endpoints f) in
+      List.length members = scale && List.for_all (fun m -> List.mem m eps) members)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "peel_workload"
+    [
+      ( "place",
+        [
+          Alcotest.test_case "contiguous aligned" `Quick test_place_contiguous_aligned;
+          Alcotest.test_case "full fabric" `Quick test_place_full_fabric;
+          Alcotest.test_case "errors" `Quick test_place_errors;
+          Alcotest.test_case "fragmentation count" `Quick test_place_fragmentation_preserves_count;
+          Alcotest.test_case "fragmentation spreads" `Quick test_fragmentation_spreads_racks;
+          qt prop_place_members_are_endpoints;
+        ] );
+      ( "poisson",
+        [
+          Alcotest.test_case "interarrival formula" `Quick test_mean_interarrival_formula;
+          Alcotest.test_case "workload shape" `Quick test_poisson_broadcasts_shape;
+          Alcotest.test_case "interarrival statistics" `Slow test_poisson_interarrival_statistics;
+          Alcotest.test_case "deterministic" `Quick test_poisson_deterministic;
+        ] );
+    ]
