@@ -110,6 +110,51 @@ let plan_cmd =
     Term.(const run $ fabric_term $ seed_term $ scale_term $ failures)
 
 (* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let failures =
+    Arg.(
+      value & opt float 0.0
+      & info [ "failures" ] ~doc:"Fraction of fabric links to fail first.")
+  in
+  let budget =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget" ]
+          ~doc:"Cap on ToR prefixes per packet group (allows over-covering).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the verdict line.")
+  in
+  let run fabric seed scale failures budget quiet =
+    let module D = Peel_check.Diagnostic in
+    let rng = Rng.create seed in
+    if failures > 0.0 then
+      ignore (Fabric.fail_random fabric ~rng ~tier:`All ~fraction:failures ());
+    let members = Spec.place fabric rng ~scale () in
+    let source = List.hd members in
+    let dests = List.filter (fun m -> m <> source) members in
+    let ds = Peel_check.check_scenario ?budget fabric ~source ~dests in
+    let errs = D.errors ds in
+    if not quiet then Format.printf "%a" D.pp_report ds;
+    Printf.printf "%s: %d-GPU group%s: %d finding(s), %d error(s)\n"
+      (Fabric.describe fabric) scale
+      (if failures > 0.0 then Printf.sprintf " (%.0f%% links failed)" (failures *. 100.0)
+       else "")
+      (List.length ds) (List.length errs);
+    if errs <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically lint a scenario's invariants (tree, plan, rules, \
+          schedules); exit non-zero on errors.")
+    Term.(
+      const run $ fabric_term $ seed_term $ scale_term $ failures $ budget $ quiet)
+
+(* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -284,4 +329,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ plan_cmd; simulate_cmd; collective_cmd; state_cmd; experiment_cmd ]))
+          [
+            plan_cmd; check_cmd; simulate_cmd; collective_cmd; state_cmd;
+            experiment_cmd;
+          ]))

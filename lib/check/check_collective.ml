@@ -1,0 +1,113 @@
+module Ring = Peel_baselines.Ring
+module Binary_tree = Peel_baselines.Binary_tree
+module D = Diagnostic
+
+let check_order order ~source ~members =
+  let members = List.sort_uniq compare members in
+  let listed = List.sort compare (Array.to_list order) in
+  (if listed <> members then
+     [
+       D.errorf ~code:"COL001" ~loc:"order"
+         "schedule order is not a permutation of the %d group members"
+         (List.length members);
+     ]
+   else [])
+  @
+  if Array.length order > 0 && order.(0) <> source then
+    [
+      D.errorf ~code:"COL001" ~loc:"order" "schedule starts at %d, not the source %d"
+        order.(0) source;
+    ]
+  else []
+
+(* COL003 — every non-source member receives exactly once; the source
+   never receives.  [receivers] lists one entry per logical send. *)
+let check_receive_once receivers ~source ~members =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace counts r (1 + Option.value (Hashtbl.find_opt counts r) ~default:0))
+    receivers;
+  List.concat_map
+    (fun m ->
+      let got = Option.value (Hashtbl.find_opt counts m) ~default:0 in
+      let want = if m = source then 0 else 1 in
+      if got <> want then
+        [
+          D.errorf ~code:"COL003" ~loc:(Printf.sprintf "member %d" m)
+            "receives %d times, expected %d" got want;
+        ]
+      else [])
+    (List.sort_uniq compare (source :: members))
+
+let check_ring (r : Ring.t) ~source ~members =
+  let order = r.Ring.order in
+  let n = Array.length order in
+  let expected_hops = List.init (max 0 (n - 1)) (fun i -> (order.(i), order.(i + 1))) in
+  check_order order ~source ~members
+  @ (if r.Ring.hops <> expected_hops then
+       [
+         D.errorf ~code:"COL002" ~loc:"hops"
+           "ring hops are not the consecutive pairs of the order (%d hops, expected %d)"
+           (List.length r.Ring.hops) (n - 1);
+       ]
+     else [])
+  @ check_receive_once (List.map snd r.Ring.hops) ~source ~members
+
+let check_btree (bt : Binary_tree.t) ~source ~members =
+  let order = bt.Binary_tree.order in
+  let n = Array.length order in
+  let edges = bt.Binary_tree.edges in
+  let order_ds = check_order order ~source ~members in
+  let count_ds =
+    if List.length edges <> n - 1 then
+      [
+        D.errorf ~code:"COL002" ~loc:"edges" "%d edges for %d members, expected %d"
+          (List.length edges) n (n - 1);
+      ]
+    else []
+  in
+  let fanout_ds =
+    let sends = Hashtbl.create 64 in
+    List.iter
+      (fun (p, _) ->
+        Hashtbl.replace sends p (1 + Option.value (Hashtbl.find_opt sends p) ~default:0))
+      edges;
+    Hashtbl.fold
+      (fun p c acc ->
+        if c > 2 then
+          D.errorf ~code:"COL002" ~loc:(Printf.sprintf "member %d" p)
+            "fans out to %d children, binary tree allows 2" c
+          :: acc
+        else acc)
+      sends []
+  in
+  let reach_ds =
+    let reached = Hashtbl.create 64 in
+    Hashtbl.replace reached source ();
+    let rec grow () =
+      let added =
+        List.fold_left
+          (fun added (p, c) ->
+            if Hashtbl.mem reached p && not (Hashtbl.mem reached c) then begin
+              Hashtbl.replace reached c ();
+              true
+            end
+            else added)
+          false edges
+      in
+      if added then grow ()
+    in
+    grow ();
+    List.filter_map
+      (fun m ->
+        if Hashtbl.mem reached m then None
+        else
+          Some
+            (D.errorf ~code:"COL004" ~loc:(Printf.sprintf "member %d" m)
+               "unreachable from the source through the schedule"))
+      (List.sort_uniq compare members)
+  in
+  order_ds @ count_ds @ fanout_ds
+  @ check_receive_once (List.map snd edges) ~source ~members
+  @ reach_ds

@@ -1,0 +1,21 @@
+(** Static checks over baseline collective schedules
+    ({!Peel_baselines.Ring}, {!Peel_baselines.Binary_tree}).
+
+    Codes:
+    - [COL001] the schedule order is not a source-first permutation of
+      the group members
+    - [COL002] the hop/edge structure is malformed (ring hops are not
+      consecutive, a binary-tree parent fans out to more than two
+      children, or the edge count is not N-1)
+    - [COL003] a member receives more than once, or the source receives
+      (every rank must receive each chunk exactly once)
+    - [COL004] a member is unreachable through the schedule *)
+
+val check_ring :
+  Peel_baselines.Ring.t -> source:int -> members:int list -> Diagnostic.t list
+
+val check_btree :
+  Peel_baselines.Binary_tree.t ->
+  source:int ->
+  members:int list ->
+  Diagnostic.t list

@@ -1,0 +1,201 @@
+open Peel_topology
+open Peel_prefix
+module Plan = Peel.Plan
+module Dataplane = Peel.Dataplane
+module Bits = Peel_util.Bits
+module D = Diagnostic
+
+let tor_id_bits fabric = Bits.ceil_log2 (max 2 (Fabric.tors_per_pod fabric))
+let pod_id_bits fabric = Bits.ceil_log2 (max 2 (Fabric.pods fabric))
+let rule_budget fabric = (2 * Bits.pow2 (tor_id_bits fabric)) - 1
+
+let ploc i = Printf.sprintf "packet %d" i
+
+(* PLAN008 — prefixes must live inside the fabric's id spaces. *)
+let check_prefixes ~m ~mp i (p : Plan.packet) =
+  let bad field space prefix =
+    match Cover.validate ~m:space prefix with
+    | () -> []
+    | exception Invalid_argument msg ->
+        [ D.errorf ~code:"PLAN008" ~loc:(ploc i) "%s prefix invalid: %s" field msg ]
+  in
+  bad "ToR" m p.Plan.tor_prefix
+  @ match p.Plan.pod_prefix with None -> [] | Some pp -> bad "pod" mp pp
+
+(* PLAN001/2/3 — every destination in exactly one packet, nothing else. *)
+let check_coverage (plan : Plan.t) =
+  let seen = Hashtbl.create 64 in
+  let ds = ref [] in
+  List.iteri
+    (fun i (p : Plan.packet) ->
+      List.iter
+        (fun e ->
+          match Hashtbl.find_opt seen e with
+          | Some j ->
+              ds :=
+                D.errorf ~code:"PLAN001" ~loc:(ploc i)
+                  "endpoint %d already delivered by packet %d" e j
+                :: !ds
+          | None ->
+              Hashtbl.replace seen e i;
+              if not (List.mem e plan.Plan.dests) then
+                ds :=
+                  D.errorf ~code:"PLAN003" ~loc:(ploc i)
+                    "endpoint %d is not a destination of the plan" e
+                  :: !ds)
+        p.Plan.endpoints)
+    plan.Plan.packets;
+  List.iter
+    (fun d ->
+      if not (Hashtbl.mem seen d) then
+        ds :=
+          D.errorf ~code:"PLAN002" ~loc:(Printf.sprintf "dest %d" d)
+            "destination covered by no packet"
+          :: !ds)
+    plan.Plan.dests;
+  List.rev !ds
+
+(* PLAN004 — re-derive each packet's reach from its prefixes and
+   compare against what the packet records. *)
+let check_packet_reach fabric ~m (plan : Plan.t) i (p : Plan.packet) =
+  let member_tors =
+    List.map (fun d -> Fabric.attach_tor fabric d) plan.Plan.dests
+    |> List.sort_uniq compare
+  in
+  let members_of_tor tor =
+    List.filter (fun d -> Fabric.attach_tor fabric d = tor) plan.Plan.dests
+  in
+  let covered_ids = Cover.expand ~m p.Plan.tor_prefix in
+  let tors, waste, endpoints =
+    List.fold_left
+      (fun (tors, waste, eps) pod ->
+        let arr = Fabric.tors_of_pod fabric pod in
+        List.fold_left
+          (fun (tors, waste, eps) idx ->
+            if idx >= Array.length arr then (tors, waste, eps)
+            else begin
+              let tor = arr.(idx) in
+              if List.mem tor member_tors then
+                (tor :: tors, waste, List.rev_append (members_of_tor tor) eps)
+              else (tor :: tors, tor :: waste, eps)
+            end)
+          (tors, waste, eps) covered_ids)
+      ([], [], []) p.Plan.pods
+  in
+  let expect name got want =
+    if List.sort compare want <> got then
+      [
+        D.errorf ~code:"PLAN004" ~loc:(ploc i)
+          "%s mismatch: packet records %d, prefixes reach %d" name
+          (List.length got) (List.length want);
+      ]
+    else []
+  in
+  expect "rack set" p.Plan.tors tors
+  @ expect "waste racks" p.Plan.waste_tors waste
+  @ expect "endpoints" p.Plan.endpoints endpoints
+
+(* PLAN005 — no (pod, ToR id) may be covered twice across packets. *)
+let check_disjoint ~m (plan : Plan.t) =
+  let covered = Hashtbl.create 64 in
+  let ds = ref [] in
+  List.iteri
+    (fun i (p : Plan.packet) ->
+      List.iter
+        (fun pod ->
+          List.iter
+            (fun idx ->
+              match Hashtbl.find_opt covered (pod, idx) with
+              | Some j ->
+                  ds :=
+                    D.errorf ~code:"PLAN005" ~loc:(ploc i)
+                      "pod %d ToR id %d already covered by packet %d (over-covering prefix)"
+                      pod idx j
+                    :: !ds
+              | None -> Hashtbl.replace covered (pod, idx) i)
+            (Cover.expand ~m p.Plan.tor_prefix))
+        p.Plan.pods)
+    plan.Plan.packets;
+  List.rev !ds
+
+let check_header fabric (plan : Plan.t) =
+  let expected = Plan.header_bytes_for fabric in
+  (if plan.Plan.header_bytes <> expected then
+     [
+       D.errorf ~code:"PLAN006" ~loc:"header"
+         "header_bytes = %d, but this fabric needs %d" plan.Plan.header_bytes
+         expected;
+     ]
+   else [])
+  @
+  if plan.Plan.header_bytes > 8 then
+    [
+      D.errorf ~code:"PLAN007" ~loc:"header"
+        "header is %d B, over the paper's < 8 B budget" plan.Plan.header_bytes;
+    ]
+  else []
+
+let check_dataplane fabric (plan : Plan.t) =
+  match Dataplane.verify fabric plan with
+  | Ok () -> []
+  | Error msg -> [ D.errorf ~code:"PLAN009" ~loc:"dataplane" "%s" msg ]
+  | exception Invalid_argument msg ->
+      [ D.errorf ~code:"PLAN009" ~loc:"dataplane" "plan not executable: %s" msg ]
+
+let check fabric (plan : Plan.t) =
+  let m = tor_id_bits fabric and mp = pod_id_bits fabric in
+  let prefix_ds =
+    List.concat
+      (List.mapi (fun i p -> check_prefixes ~m ~mp i p) plan.Plan.packets)
+  in
+  if prefix_ds <> [] then
+    (* Invalid prefixes poison every downstream expansion — stop here. *)
+    prefix_ds @ check_coverage plan @ check_header fabric plan
+  else
+    check_coverage plan
+    @ List.concat
+        (List.mapi (fun i p -> check_packet_reach fabric ~m plan i p) plan.Plan.packets)
+    @ check_disjoint ~m plan
+    @ check_header fabric plan
+    @ check_dataplane fabric plan
+
+let check_rules fabric table =
+  let m = tor_id_bits fabric in
+  let tm = Rules.id_bits table in
+  let width_ds =
+    if tm <> m then
+      [
+        D.errorf ~code:"RULE003" ~loc:"table"
+          "table built for %d-bit ids, fabric uses %d bits" tm m;
+      ]
+    else []
+  in
+  let budget = rule_budget fabric in
+  let size_ds =
+    if Rules.size table > budget then
+      [
+        D.errorf ~code:"RULE001" ~loc:"table"
+          "%d rules installed, over the k-1 = %d static budget"
+          (Rules.size table) budget;
+      ]
+    else []
+  in
+  let port_ds =
+    List.concat_map
+      (fun (r : Rules.rule) ->
+        match Cover.expand ~m:tm r.Rules.prefix with
+        | expected when expected <> r.Rules.ports ->
+            [
+              D.errorf ~code:"RULE002"
+                ~loc:(Printf.sprintf "rule %s" (Cover.to_string ~m:tm r.Rules.prefix))
+                "port set disagrees with the prefix block";
+            ]
+        | _ -> []
+        | exception Invalid_argument _ ->
+            [
+              D.errorf ~code:"RULE002" ~loc:"rule"
+                "rule prefix outside the table's own id space";
+            ])
+      (Rules.rules table)
+  in
+  width_ds @ size_ds @ port_ds

@@ -1,0 +1,81 @@
+open Peel_topology
+module D = Diagnostic
+
+let check_fabric fabric =
+  let g = Fabric.graph fabric in
+  Array.fold_left
+    (fun acc (l : Graph.link) ->
+      let loc = Printf.sprintf "link %d (%d->%d)" l.Graph.link_id l.Graph.src l.Graph.dst in
+      let acc =
+        if l.Graph.bandwidth <= 0.0 || not (Float.is_finite l.Graph.bandwidth) then
+          D.errorf ~code:"SIM001" ~loc "bandwidth %g must be positive and finite"
+            l.Graph.bandwidth
+          :: acc
+        else acc
+      in
+      if l.Graph.latency < 0.0 || not (Float.is_finite l.Graph.latency) then
+        D.errorf ~code:"SIM001" ~loc "latency %g must be non-negative and finite"
+          l.Graph.latency
+        :: acc
+      else acc)
+    [] (Graph.links g)
+  |> List.rev
+
+let check_cc_params ?(guard = Some Peel_sim.Dcqcn.default_guard) ~ecn_delay
+    ~line_rate () =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  if line_rate <= 0.0 || not (Float.is_finite line_rate) then
+    add (D.errorf ~code:"SIM002" ~loc:"dcqcn" "line rate %g must be positive" line_rate);
+  (match guard with
+  | None -> ()
+  | Some g ->
+      if g <= 0.0 || not (Float.is_finite g) then
+        add (D.errorf ~code:"SIM002" ~loc:"dcqcn" "guard window %g must be positive" g)
+      else if g > 1e-2 then
+        add
+          (D.warningf ~code:"SIM002" ~loc:"dcqcn"
+             "guard window %g s is far above the paper's 50 us" g));
+  if ecn_delay < 0.0 || Float.is_nan ecn_delay then
+    add
+      (D.errorf ~code:"SIM002" ~loc:"dcqcn" "ECN marking threshold %g must be >= 0"
+         ecn_delay);
+  List.rev !ds
+
+let check_outcome ?expected ~ccts ~makespan telemetry =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  (match expected with
+  | Some n when n <> List.length ccts ->
+      add
+        (D.errorf ~code:"SIM003" ~loc:"run" "%d collectives expected, %d completed" n
+           (List.length ccts))
+  | _ -> ());
+  List.iteri
+    (fun i cct ->
+      let loc = Printf.sprintf "collective %d" i in
+      if Float.is_nan cct then
+        add (D.errorf ~code:"SIM003" ~loc "never completed (CCT is NaN)")
+      else if cct < 0.0 || not (Float.is_finite cct) then
+        add (D.errorf ~code:"SIM003" ~loc "invalid CCT %g" cct)
+      else if cct > makespan +. 1e-12 then
+        add
+          (D.errorf ~code:"SIM003" ~loc "CCT %g exceeds the run makespan %g" cct
+             makespan))
+    ccts;
+  let umax = Peel_sim.Telemetry.max_utilization telemetry in
+  if umax > 1.0 +. 1e-9 then
+    add
+      (D.errorf ~code:"SIM004" ~loc:"telemetry"
+         "a link reports utilization %.4f > 1: busy beyond the horizon" umax);
+  List.rev !ds
+
+let check_chunk_conservation ~chunks ~receivers ~delivered =
+  let want = chunks * receivers in
+  if delivered <> want then
+    [
+      D.errorf ~code:"SIM005" ~loc:"tracker"
+        "%d chunk deliveries recorded, conservation needs %d (%d chunks x %d receivers)"
+        delivered want chunks receivers;
+    ]
+  else []

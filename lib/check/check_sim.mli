@@ -1,0 +1,42 @@
+(** Static checks over simulator inputs and outputs.
+
+    Codes:
+    - [SIM001] a fabric link has non-positive bandwidth or negative
+      latency
+    - [SIM002] a congestion-control parameter is out of its sane range
+      (non-positive line rate or guard window, negative ECN threshold;
+      a guard window far above the paper's 50 µs is a warning)
+    - [SIM003] a collective completion time is missing, NaN, or
+      negative — some chunk was lost without recovery
+    - [SIM004] a link reports utilization above 1 (busy longer than the
+      observation horizon)
+    - [SIM005] chunk conservation violated: the number of delivered
+      chunks differs from [chunks * receivers] *)
+
+open Peel_topology
+
+val check_fabric : Fabric.t -> Diagnostic.t list
+
+val check_cc_params :
+  ?guard:float option ->
+  ecn_delay:float ->
+  line_rate:float ->
+  unit ->
+  Diagnostic.t list
+(** [guard] defaults to the paper's 50 µs window (like
+    {!Peel_sim.Dcqcn.create}); pass [Some None] for guard-less DCQCN. *)
+
+val check_outcome :
+  ?expected:int ->
+  ccts:float list ->
+  makespan:float ->
+  Peel_sim.Telemetry.t ->
+  Diagnostic.t list
+(** Post-run conservation: [expected] collectives all completed with
+    finite non-negative CCTs no later than [makespan], and no link was
+    busy for more than the whole horizon. *)
+
+val check_chunk_conservation :
+  chunks:int -> receivers:int -> delivered:int -> Diagnostic.t list
+(** Every receiver must get every chunk exactly once:
+    [delivered = chunks * receivers]. *)

@@ -1,0 +1,32 @@
+(** Static checks over multicast trees ({!Peel_steiner.Tree}).
+
+    Codes:
+    - [TREE001] root is not the collective's source
+    - [TREE002] a parent edge is out of range, runs the wrong way, or
+      uses a link that is down in the graph
+    - [TREE003] a destination is not spanned (or is unreachable)
+    - [TREE004] the tree is not a tree: a member is unreachable from
+      the root or reached twice over child edges
+    - [TREE005] tree cost exceeds the Theorem 2.5 envelope
+      [min(F, |D|) * OPT_sym], where [F] is the farthest hop layer and
+      [OPT_sym] the symmetric-Clos lower bound (Lemma 2.1) *)
+
+open Peel_topology
+
+val check :
+  ?fabric:Fabric.t ->
+  Graph.t ->
+  Peel_steiner.Tree.t ->
+  source:int ->
+  dests:int list ->
+  Diagnostic.t list
+(** Structural checks against the graph; when [fabric] is supplied the
+    Theorem 2.5 cost bound is also checked (failures are temporarily
+    restored to compute the symmetric lower bound, then re-applied). *)
+
+val symmetric_lower_bound :
+  Fabric.t -> source:int -> dests:int list -> int option
+(** Lemma 2.1 optimum cost for the group on the failure-free fabric;
+    [None] when the symmetric construction does not apply.  Restores
+    any injected failures for the computation and re-applies them
+    before returning. *)

@@ -33,14 +33,17 @@ let run_custom ?(chunks = 8) ?(cc = Broadcast.No_cc) ?(controller_seed = 1234)
       (Printf.sprintf "Runner.run: %d of %d collectives did not complete"
          (n - !done_count) n);
   let makespan = Engine.now engine in
-  {
-    ccts = Array.to_list results;
-    events = Engine.events_processed engine;
-    makespan;
-    telemetry =
-      Telemetry.snapshot (Fabric.graph fabric) links
-        ~horizon:(Float.max makespan 1e-9);
-  }
+  let telemetry =
+    Telemetry.snapshot (Fabric.graph fabric) links
+      ~horizon:(Float.max makespan 1e-9)
+  in
+  let ccts = Array.to_list results in
+  (* Debug-mode invariant assertions (PEEL_CHECK=1): every collective
+     completed with a sane CCT and no link was busy past the horizon. *)
+  if Peel_check.enabled () then
+    Peel_check.assert_valid ~what:"simulation outcome"
+      (Peel_check.Check_sim.check_outcome ~expected:n ~ccts ~makespan telemetry);
+  { ccts; events = Engine.events_processed engine; makespan; telemetry }
 
 let run ?chunks ?cc ?controller_seed ?controller ?loss ?ecmp fabric scheme
     collectives =

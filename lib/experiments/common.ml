@@ -20,6 +20,19 @@ let banner title =
 let note s = Printf.printf "  %s\n%!" s
 
 let summarize_run ?cc ?controller fabric scheme collectives =
+  (* Debug-mode assertions (PEEL_CHECK=1): lint the fabric and the
+     first collective's whole scenario (tree, plan, rules, schedules)
+     before burning simulation time on a malformed input. *)
+  if Peel_check.enabled () then begin
+    Peel_check.assert_valid ~what:"experiment fabric"
+      (Peel_check.Check_sim.check_fabric fabric);
+    match collectives with
+    | [] -> ()
+    | (c : Peel_workload.Spec.collective) :: _ ->
+        Peel_check.assert_valid ~what:"experiment scenario"
+          (Peel_check.check_scenario fabric ~source:c.Peel_workload.Spec.source
+             ~dests:c.Peel_workload.Spec.dests)
+  end;
   Peel_collective.Runner.summarize
     (Peel_collective.Runner.run ?cc ?controller fabric scheme collectives)
 

@@ -8,14 +8,19 @@ let validate ~m p =
   if p.value < 0 || p.value >= Bits.pow2 p.len then
     invalid_arg "Cover: prefix value out of range"
 
-let block_size ~m p =
+let make ~m ~value ~len =
+  let p = { value; len } in
   validate ~m p;
-  Bits.pow2 (m - p.len)
+  p
+
+(* Validation happens at construction ([make] / the cover builders);
+   the per-id helpers below sit on the data-plane hot path and trust
+   their input. *)
+let block_size ~m p = Bits.pow2 (m - p.len)
 
 let block_start ~m p = p.value * Bits.pow2 (m - p.len)
 
 let covers ~m p id =
-  validate ~m p;
   id >= 0 && id < Bits.pow2 m && id lsr (m - p.len) = p.value
 
 let expand ~m p =

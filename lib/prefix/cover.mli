@@ -16,6 +16,11 @@ type prefix = { value : int; len : int }
     covered in an [m]-bit space is [\[value*2^(m-len),
     (value+1)*2^(m-len))]. *)
 
+val make : m:int -> value:int -> len:int -> prefix
+(** Smart constructor: validates once at construction time (the hot
+    helpers below trust their input and no longer re-validate per
+    call). Raises [Invalid_argument] like {!validate}. *)
+
 val block_size : m:int -> prefix -> int
 val covers : m:int -> prefix -> int -> bool
 val expand : m:int -> prefix -> int list

@@ -15,6 +15,8 @@ let static_table ~m =
   done;
   { m; by_prefix }
 
+let id_bits t = t.m
+
 let rules t =
   Hashtbl.fold (fun _ r acc -> r :: acc) t.by_prefix []
   |> List.sort (fun a b -> compare (a.prefix.Cover.len, a.prefix.Cover.value)

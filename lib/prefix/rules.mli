@@ -20,6 +20,9 @@ type table
 val static_table : m:int -> table
 (** All power-of-two rules over an [m]-bit identifier space. *)
 
+val id_bits : table -> int
+(** The [m] the table was built for (identifier-space width in bits). *)
+
 val rules : table -> rule list
 val size : table -> int
 (** Number of installed rules = [2^(m+1) - 1]. *)

@@ -115,6 +115,65 @@ let prop_exact_cover_minimal_vs_merging =
                   cover))
         cover)
 
+(* Property-style sweep driven by the repo's own seeded PRNG: for
+   random target sets, the exact cover must be disjoint, exact (covers
+   the targets and nothing else) and minimal.  Minimality is checked
+   against a brute-force search over every prefix subset at small m,
+   and against the no-mergeable-siblings criterion at larger m. *)
+let test_exact_cover_random_sweep () =
+  let rng = Rng.create 2025 in
+  for trial = 1 to 200 do
+    let m = Rng.int_in rng 1 6 in
+    let size = 1 lsl m in
+    let k = Rng.int_in rng 0 size in
+    let targets = Rng.sample_without_replacement rng size k in
+    let cover = Cover.exact_cover ~m targets in
+    let name fmt = Printf.sprintf ("trial %d (m=%d): " ^^ fmt) trial m in
+    (* Exact: the union of blocks is the target set, no over-coverage. *)
+    Alcotest.(check (list int)) (name "exact") targets (Cover.covered_set ~m cover);
+    Alcotest.(check int)
+      (name "no over-coverage")
+      0
+      (Cover.over_coverage ~m cover ~targets);
+    (* Disjoint: expanding the blocks yields no duplicate identifier. *)
+    let all = List.concat_map (Cover.expand ~m) cover in
+    Alcotest.(check int)
+      (name "disjoint")
+      (List.length all)
+      (List.length (List.sort_uniq compare all));
+    (* Minimal: no two sibling blocks could merge into the parent. *)
+    List.iter
+      (fun p ->
+        if p.Cover.len > 0 then
+          Alcotest.(check bool)
+            (name "no mergeable siblings")
+            false
+            (List.mem { Cover.value = p.Cover.value lxor 1; len = p.Cover.len } cover))
+      cover;
+    (* Minimal, independently: brute force at small m. *)
+    if m <= 3 && targets <> [] then begin
+      let all_prefixes =
+        List.concat
+          (List.init (m + 1) (fun len ->
+               List.init (1 lsl len) (fun value -> { Cover.value; len })))
+      in
+      let arr = Array.of_list all_prefixes in
+      let np = Array.length arr in
+      let best = ref max_int in
+      for mask = 1 to (1 lsl np) - 1 do
+        let subset = ref [] in
+        for i = 0 to np - 1 do
+          if mask land (1 lsl i) <> 0 then subset := arr.(i) :: !subset
+        done;
+        if
+          Cover.is_cover ~m !subset ~targets
+          && Cover.over_coverage ~m !subset ~targets = 0
+        then best := min !best (List.length !subset)
+      done;
+      Alcotest.(check int) (name "minimal (brute force)") !best (List.length cover)
+    end
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Cover: budgeted decomposition                                       *)
 (* ------------------------------------------------------------------ *)
@@ -355,6 +414,8 @@ let () =
           Alcotest.test_case "worst-case fragmentation" `Quick
             test_exact_cover_worst_case_fragmentation;
           Alcotest.test_case "duplicates" `Quick test_exact_cover_duplicates_ignored;
+          Alcotest.test_case "random sweep (seeded Rng)" `Quick
+            test_exact_cover_random_sweep;
           qt prop_exact_cover_exact;
           qt prop_exact_cover_disjoint;
           qt prop_exact_cover_minimal_vs_merging;
