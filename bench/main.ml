@@ -6,7 +6,11 @@
      dune exec bench/main.exe               # full run, all experiments
      dune exec bench/main.exe -- quick      # reduced trial counts
      dune exec bench/main.exe -- fig5 fig7  # selected experiments
-     dune exec bench/main.exe -- micro      # Bechamel micro-benchmarks *)
+     dune exec bench/main.exe -- micro      # Bechamel micro-benchmarks
+
+   Every run also writes BENCH.json (schema peel-bench/1) to the
+   invocation directory: per-experiment wall time, Bechamel ns/run per
+   algorithm, and a headline CCT comparison across the schemes. *)
 
 open Peel_experiments
 module Rng = Peel_util.Rng
@@ -61,6 +65,10 @@ let micro_tests () =
            ignore (Peel_prefix.Cover.budgeted_cover ~m:6 ~budget:4 tor_targets)));
   ]
 
+(* Total extraction: every declared test element yields one row, even
+   when Bechamel's analysis comes back empty for it — we look names up
+   from [Test.elements] instead of folding over whatever keys the
+   result table happens to hold. *)
 let run_micro () =
   let open Bechamel in
   Common.banner "Micro-benchmarks (Bechamel): tree construction is cheap";
@@ -72,27 +80,86 @@ let run_micro () =
     Benchmark.cfg ~limit:2000 ~stabilize:true
       ~quota:(Time.second 0.5) ()
   in
-  let rows =
-    List.map
+  let results =
+    List.concat_map
       (fun test ->
-        let results = Benchmark.all cfg [ instance ] test in
-        let analyzed = Analyze.all ols instance results in
-        Hashtbl.fold
-          (fun name ols_result acc ->
+        let raw = Benchmark.all cfg [ instance ] test in
+        let analyzed = Analyze.all ols instance raw in
+        List.map
+          (fun elt ->
+            let name = Test.Elt.name elt in
             let ns =
-              match Analyze.OLS.estimates ols_result with
-              | Some (e :: _) -> e
-              | _ -> nan
+              match Hashtbl.find_opt analyzed name with
+              | None -> None
+              | Some ols_result -> (
+                  match Analyze.OLS.estimates ols_result with
+                  | Some (e :: _) when Float.is_finite e -> Some e
+                  | _ -> None)
             in
-            [ name; Peel_util.Table.fsec (ns /. 1e9) ] :: acc)
-          analyzed []
-        |> List.concat)
+            (name, ns))
+          (Test.elements test))
       (micro_tests ())
   in
   Peel_util.Table.print ~header:[ "algorithm"; "time per run" ]
-    (List.map
-       (fun row -> match row with [ a; b ] -> [ a; b ] | _ -> row)
-       (List.filter (fun r -> r <> []) rows))
+    (Common.micro_table_rows results);
+  results
+
+(* ------------------------------------------------------------------ *)
+(* BENCH.json: machine-readable run record                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A cheap scheme comparison on the intro fabric so the JSON carries
+   headline CCT numbers even when no CCT experiment was selected. *)
+let headline_ccts () =
+  let fabric = Common.fig1_fabric () in
+  let open Peel_collective in
+  List.map
+    (fun scheme ->
+      let cs =
+        Peel_workload.Spec.poisson_broadcasts fabric (Rng.create 7) ~n:4
+          ~scale:8 ~bytes:(Common.mb 8.0) ~load:0.3 ()
+      in
+      let s = Runner.summarize (Runner.run fabric scheme cs) in
+      (Scheme.to_string scheme, s))
+    Scheme.all
+
+let write_bench_json ~mode ~exp_times ~micro ~headline ~total =
+  let module Json = Peel_util.Json in
+  let opt_num = function Some x -> Json.num x | None -> Json.Null in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.str "peel-bench/1");
+        ( "mode",
+          Json.str (match mode with Common.Quick -> "quick" | Common.Full -> "full")
+        );
+        ( "experiments",
+          Json.Arr
+            (List.map
+               (fun (name, wall) ->
+                 Json.Obj [ ("name", Json.str name); ("wall_s", Json.num wall) ])
+               exp_times) );
+        ( "micro_ns_per_run",
+          Json.Obj (List.map (fun (name, ns) -> (name, opt_num ns)) micro) );
+        ( "headline_cct",
+          Json.Arr
+            (List.map
+               (fun (scheme, (s : Peel_util.Stats.summary)) ->
+                 Json.Obj
+                   [
+                     ("scheme", Json.str scheme);
+                     ("mean", Json.num s.Peel_util.Stats.mean);
+                     ("p50", Json.num s.Peel_util.Stats.p50);
+                     ("p99", Json.num s.Peel_util.Stats.p99);
+                     ("max", Json.num s.Peel_util.Stats.max);
+                   ])
+               headline) );
+        ("total_wall_s", Json.num total);
+      ]
+  in
+  Out_channel.with_open_text "BENCH.json" (fun oc ->
+      Out_channel.output_string oc (Json.to_string doc);
+      Out_channel.output_char oc '\n')
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -115,8 +182,21 @@ let () =
   let t0 = Unix.gettimeofday () in
   Printf.printf "PEEL benchmark harness (%s mode)\n"
     (match mode with Common.Quick -> "quick" | Common.Full -> "full");
-  List.iter
-    (fun (name, _desc, f) -> if wanted name then f mode)
-    experiments;
-  if run_all || List.mem "micro" selections then run_micro ();
-  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  let exp_times =
+    List.filter_map
+      (fun (name, _desc, f) ->
+        if wanted name then begin
+          let t = Unix.gettimeofday () in
+          f mode;
+          Some (name, Unix.gettimeofday () -. t)
+        end
+        else None)
+      experiments
+  in
+  let micro =
+    if run_all || List.mem "micro" selections then run_micro () else []
+  in
+  let headline = headline_ccts () in
+  let total = Unix.gettimeofday () -. t0 in
+  write_bench_json ~mode ~exp_times ~micro ~headline ~total;
+  Printf.printf "\ntotal wall time: %.1f s (BENCH.json written)\n" total

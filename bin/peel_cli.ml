@@ -3,6 +3,7 @@
    Subcommands:
      plan       — compute a multicast tree + prefix send plan for a group
      simulate   — run Broadcast workloads through the simulator
+     trace      — run one workload with tracing on; export JSON/CSV
      state      — switch-state and header accounting for a fat-tree degree
      experiment — regenerate a paper table/figure by name               *)
 
@@ -208,6 +209,223 @@ let simulate_cmd =
       const run $ fabric_term $ seed_term $ scale_term $ scheme $ size_mb $ load $ n)
 
 (* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let module Trace = Peel_sim.Trace in
+  let module Json = Peel_util.Json in
+  let scheme =
+    let parse s =
+      match Scheme.of_string s with
+      | Some x -> Ok x
+      | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+    in
+    let print fmt s = Format.pp_print_string fmt (Scheme.to_string s) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Scheme.Peel
+      & info [ "scheme" ] ~docv:"SCHEME"
+          ~doc:"Scheme to trace: ring, tree, optimal, orca, peel, peel+cores.")
+  in
+  let size_mb =
+    Arg.(value & opt float 64.0 & info [ "size" ] ~doc:"Message size in MB.")
+  in
+  let load =
+    Arg.(value & opt float 0.3 & info [ "load" ] ~doc:"Offered load (0,1].")
+  in
+  let n =
+    Arg.(value & opt int 8 & info [ "n" ] ~doc:"Number of collectives.")
+  in
+  let chunks =
+    Arg.(value & opt int 8 & info [ "chunks" ] ~doc:"Pipelined chunks per message.")
+  in
+  let level =
+    Arg.(
+      value
+      & opt (enum [ ("counters", Trace.Counters); ("full", Trace.Full) ]) Trace.Full
+      & info [ "level" ] ~docv:"LEVEL"
+          ~doc:"Trace verbosity: counters (aggregates only) or full (event log).")
+  in
+  let sample =
+    Arg.(
+      value & opt int 1
+      & info [ "sample" ] ~docv:"N"
+          ~doc:"Record every Nth link reservation event (counters stay exact).")
+  in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Trace JSON output path.")
+  in
+  let csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also export the event log as CSV.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the verdict line.")
+  in
+  let level_name = function
+    | Trace.Off -> "off" | Trace.Counters -> "counters" | Trace.Full -> "full"
+  in
+  let flow_json (f : Trace.flow_stats) =
+    Json.Obj
+      [
+        ("flow", Json.int f.Trace.f_flow);
+        ("releases", Json.int f.Trace.f_releases);
+        ("deliveries", Json.int f.Trace.f_deliveries);
+        ("cnps", Json.int f.Trace.f_cnps);
+        ("rate_cuts", Json.int f.Trace.f_rate_cuts);
+        ("guard_holds", Json.int f.Trace.f_guard_holds);
+        ("retransmits", Json.int f.Trace.f_retransmits);
+        ("first_delivery", Json.num f.Trace.f_first_delivery);
+        ("last_delivery", Json.num f.Trace.f_last_delivery);
+        ("mean_chunk_latency", Json.num f.Trace.f_mean_chunk_latency);
+        ("max_chunk_latency", Json.num f.Trace.f_max_chunk_latency);
+      ]
+  in
+  let run fabric seed scale scheme size_mb load n chunks level sample out csv
+      quiet =
+    let module D = Peel_check.Diagnostic in
+    let trace = Trace.create ~level ~sample () in
+    let cs =
+      Spec.poisson_broadcasts fabric (Rng.create seed) ~n ~scale
+        ~bytes:(size_mb *. 1e6) ~load ()
+    in
+    let outcome = Runner.run ~chunks ~trace fabric scheme cs in
+    let expected_deliveries =
+      chunks
+      * List.fold_left
+          (fun acc (c : Spec.collective) -> acc + List.length c.Spec.dests)
+          0 cs
+    in
+    let ds =
+      Peel_check.Check_sim.check_outcome ~expected:n ~ccts:outcome.Runner.ccts
+        ~makespan:outcome.Runner.makespan outcome.Runner.telemetry
+      @ Peel_check.Check_sim.check_trace ~expected_deliveries trace
+    in
+    let s = Runner.summarize outcome in
+    let c = Trace.counters trace in
+    let flows = Trace.flow_stats trace in
+    if not quiet then begin
+      Printf.printf "fabric: %s; scheme %s; %d collectives of %d GPUs x %.0f MB\n"
+        (Fabric.describe fabric) (Scheme.to_string scheme) n scale size_mb;
+      Printf.printf
+        "makespan %s; mean CCT %s, p99 %s; %d engine events (max queue %d)\n\n"
+        (Peel_util.Table.fsec outcome.Runner.makespan)
+        (Peel_util.Table.fsec s.Peel_util.Stats.mean)
+        (Peel_util.Table.fsec s.Peel_util.Stats.p99)
+        c.Trace.engine_events c.Trace.engine_max_pending;
+      Peel_util.Table.print ~header:[ "counter"; "value" ]
+        [
+          [ "link reservations"; string_of_int c.Trace.reservations ];
+          [ "bytes reserved"; Printf.sprintf "%.3e" c.Trace.bytes_reserved ];
+          [ "chunk releases"; string_of_int c.Trace.releases ];
+          [ "chunk deliveries"; string_of_int c.Trace.deliveries ];
+          [ "ECN marks"; string_of_int c.Trace.ecn_marks ];
+          [ "CNPs"; string_of_int c.Trace.cnps ];
+          [ "rate cuts"; string_of_int c.Trace.rate_cuts ];
+          [ "guard holds"; string_of_int c.Trace.guard_holds ];
+          [ "drops"; string_of_int c.Trace.drops ];
+          [ "retransmits"; string_of_int c.Trace.retransmits ];
+        ];
+      print_newline ();
+      let hot = Peel_sim.Telemetry.hottest outcome.Runner.telemetry ~n:5 in
+      Peel_util.Table.print
+        ~header:[ "hot link"; "tier"; "util"; "chunks"; "ECN"; "max backlog" ]
+        (List.map
+           (fun (r : Peel_sim.Telemetry.link_report) ->
+             [
+               Printf.sprintf "%d->%d" r.Peel_sim.Telemetry.src
+                 r.Peel_sim.Telemetry.dst;
+               r.Peel_sim.Telemetry.tier;
+               Printf.sprintf "%.2f" r.Peel_sim.Telemetry.utilization;
+               string_of_int r.Peel_sim.Telemetry.reservations;
+               string_of_int r.Peel_sim.Telemetry.ecn_marks;
+               Peel_util.Table.fsec r.Peel_sim.Telemetry.max_backlog;
+             ])
+           hot);
+      if flows <> [] then begin
+        print_newline ();
+        Peel_util.Table.print
+          ~header:[ "flow"; "released"; "delivered"; "mean lat"; "max lat" ]
+          (List.map
+             (fun (f : Trace.flow_stats) ->
+               [
+                 string_of_int f.Trace.f_flow;
+                 string_of_int f.Trace.f_releases;
+                 string_of_int f.Trace.f_deliveries;
+                 Peel_util.Table.fsec f.Trace.f_mean_chunk_latency;
+                 Peel_util.Table.fsec f.Trace.f_max_chunk_latency;
+               ])
+             flows)
+      end;
+      print_newline ()
+    end;
+    let doc =
+      Json.Obj
+        [
+          ("schema", Json.str "peel-trace/1");
+          ( "meta",
+            Json.Obj
+              [
+                ("fabric", Json.str (Fabric.describe fabric));
+                ("scheme", Json.str (Scheme.to_string scheme));
+                ("seed", Json.int seed);
+                ("scale", Json.int scale);
+                ("collectives", Json.int n);
+                ("bytes", Json.num (size_mb *. 1e6));
+                ("load", Json.num load);
+                ("chunks", Json.int chunks);
+                ("level", Json.str (level_name level));
+                ("sample", Json.int sample);
+              ] );
+          ( "summary",
+            Json.Obj
+              [
+                ("makespan", Json.num outcome.Runner.makespan);
+                ("mean_cct", Json.num s.Peel_util.Stats.mean);
+                ("p50_cct", Json.num s.Peel_util.Stats.p50);
+                ("p99_cct", Json.num s.Peel_util.Stats.p99);
+                ("max_cct", Json.num s.Peel_util.Stats.max);
+                ( "ccts",
+                  Json.Arr (List.map Json.num outcome.Runner.ccts) );
+                ("expected_deliveries", Json.int expected_deliveries);
+                ("diagnostics", Json.int (List.length ds));
+              ] );
+          ("counters", Trace.counters_to_json trace);
+          ("links", Peel_sim.Telemetry.to_json outcome.Runner.telemetry);
+          ("flows", Json.Arr (List.map flow_json flows));
+          ("events", Trace.events_to_json trace);
+        ]
+    in
+    Out_channel.with_open_text out (fun oc ->
+        Out_channel.output_string oc (Json.to_string doc);
+        Out_channel.output_char oc '\n');
+    (match csv with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Trace.events_csv trace)));
+    if ds <> [] && not quiet then Format.printf "%a" D.pp_report ds;
+    let errs = D.errors ds in
+    Printf.printf "%s: %d events traced, %d finding(s), %d error(s)%s\n" out
+      (Trace.num_events trace) (List.length ds) (List.length errs)
+      (match csv with None -> "" | Some p -> Printf.sprintf "; CSV: %s" p);
+    if errs <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one Broadcast workload with structured tracing on and export \
+          the trace as JSON (and optionally CSV); exit non-zero if the trace \
+          fails its conservation/consistency lint.")
+    Term.(
+      const run $ fabric_term $ seed_term $ scale_term $ scheme $ size_mb
+      $ load $ n $ chunks $ level $ sample $ out $ csv $ quiet)
+
+(* ------------------------------------------------------------------ *)
 (* collective                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -330,6 +548,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            plan_cmd; check_cmd; simulate_cmd; collective_cmd; state_cmd;
-            experiment_cmd;
+            plan_cmd; check_cmd; simulate_cmd; trace_cmd; collective_cmd;
+            state_cmd; experiment_cmd;
           ]))

@@ -70,6 +70,67 @@ let check_outcome ?expected ~ccts ~makespan telemetry =
          "a link reports utilization %.4f > 1: busy beyond the horizon" umax);
   List.rev !ds
 
+let check_trace ?expected_deliveries trace =
+  let module T = Peel_sim.Trace in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let c = T.counters trace in
+  (match expected_deliveries with
+  | Some want when c.T.deliveries <> want ->
+      add
+        (D.errorf ~code:"SIM005" ~loc:"trace"
+           "%d chunk deliveries traced, conservation needs %d" c.T.deliveries
+           want)
+  | _ -> ());
+  let evs = T.events trace in
+  let last = ref neg_infinity in
+  let counts = Hashtbl.create 8 in
+  let bump k = Hashtbl.replace counts k (1 + Option.value (Hashtbl.find_opt counts k) ~default:0) in
+  Array.iteri
+    (fun i (ev : T.event) ->
+      let loc = Printf.sprintf "event %d" i in
+      if Float.is_nan ev.T.time || ev.T.time < 0.0 then
+        add (D.errorf ~code:"SIM006" ~loc "invalid timestamp %g" ev.T.time)
+      else if ev.T.time < !last then
+        add
+          (D.errorf ~code:"SIM006" ~loc
+             "timestamp %g runs backwards (previous event at %g)" ev.T.time
+             !last);
+      if ev.T.time > !last then last := ev.T.time;
+      (match ev.T.kind with
+      | T.Reserve { bytes; queue_delay; backlog; link } ->
+          bump `Reserve;
+          if bytes <= 0.0 || queue_delay < 0.0 || backlog < 0.0 || link < 0 then
+            add
+              (D.errorf ~code:"SIM006" ~loc
+                 "malformed reserve event (link %d, %g bytes, %g queue delay, %g backlog)"
+                 link bytes queue_delay backlog)
+      | T.Delivery _ -> bump `Delivery
+      | T.Release _ -> bump `Release
+      | _ -> ()))
+    evs;
+  (* At Full verbosity the event log and the counters must agree —
+     modulo the reserve-sampling knob, whose skips are themselves
+     counted. *)
+  if T.level trace = T.Full then begin
+    let n k = Option.value (Hashtbl.find_opt counts k) ~default:0 in
+    if n `Reserve + T.sampled_out trace <> c.T.reservations then
+      add
+        (D.errorf ~code:"SIM006" ~loc:"trace"
+           "%d reserve events + %d sampled out <> %d reservations counted"
+           (n `Reserve) (T.sampled_out trace) c.T.reservations);
+    if n `Delivery <> c.T.deliveries then
+      add
+        (D.errorf ~code:"SIM006" ~loc:"trace"
+           "%d delivery events <> %d deliveries counted" (n `Delivery)
+           c.T.deliveries);
+    if n `Release <> c.T.releases then
+      add
+        (D.errorf ~code:"SIM006" ~loc:"trace"
+           "%d release events <> %d releases counted" (n `Release) c.T.releases)
+  end;
+  List.rev !ds
+
 let check_chunk_conservation ~chunks ~receivers ~delivered =
   let want = chunks * receivers in
   if delivered <> want then

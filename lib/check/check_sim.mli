@@ -11,7 +11,11 @@
     - [SIM004] a link reports utilization above 1 (busy longer than the
       observation horizon)
     - [SIM005] chunk conservation violated: the number of delivered
-      chunks differs from [chunks * receivers] *)
+      chunks differs from [chunks * receivers]
+    - [SIM006] a recorded trace is structurally broken: timestamps run
+      backwards or are invalid, a reserve event carries non-positive
+      bytes or a negative delay, or (at [Full] level) the event log
+      disagrees with the aggregate counters *)
 
 open Peel_topology
 
@@ -35,6 +39,15 @@ val check_outcome :
 (** Post-run conservation: [expected] collectives all completed with
     finite non-negative CCTs no later than [makespan], and no link was
     busy for more than the whole horizon. *)
+
+val check_trace :
+  ?expected_deliveries:int -> Peel_sim.Trace.t -> Diagnostic.t list
+(** Structural lint of a recorded trace: timestamps non-decreasing and
+    finite, reserve events well-formed, and — at [Full] level — the
+    event log consistent with the counters (reserve events plus
+    sampling skips equal reservations; delivery and release events
+    equal their counters).  When [expected_deliveries] is given, traced
+    deliveries must equal it (chunk conservation, [SIM005]). *)
 
 val check_chunk_conservation :
   chunks:int -> receivers:int -> delivered:int -> Diagnostic.t list

@@ -10,10 +10,11 @@ type config = {
   rng : Rng.t;
   controller : bool;
   loss : Transfer.loss option;
+  trace : Trace.t;
 }
 
-let default_config ~rng =
-  { chunks = 8; cc = No_cc; rng; controller = true; loss = None }
+let default_config ?(trace = Trace.null) ~rng () =
+  { chunks = 8; cc = No_cc; rng; controller = true; loss = None; trace }
 
 let nic_rate = 12.5e9
 let cnp_delay = 5e-6
@@ -26,9 +27,11 @@ type tracker = {
   mutable last : float;
   arrival : float;
   complete : float -> unit;
+  trace : Trace.t;
+  flow : int;
 }
 
-let make_tracker ~arrival ~dests ~chunks ~on_complete =
+let make_tracker ~trace ~flow ~arrival ~dests ~chunks ~on_complete =
   let dest_set = Hashtbl.create (List.length dests * 2) in
   List.iter (fun d -> Hashtbl.replace dest_set d ()) dests;
   {
@@ -37,10 +40,13 @@ let make_tracker ~arrival ~dests ~chunks ~on_complete =
     last = arrival;
     arrival;
     complete = on_complete;
+    trace;
+    flow;
   }
 
-let record tracker node time =
+let record tracker node chunk time =
   if Hashtbl.mem tracker.dest_set node then begin
+    Trace.delivery tracker.trace ~time ~node ~flow:tracker.flow ~chunk;
     tracker.remaining <- tracker.remaining - 1;
     if time > tracker.last then tracker.last <- time;
     if tracker.remaining = 0 then tracker.complete (tracker.last -. tracker.arrival)
@@ -52,25 +58,36 @@ type cc_state = {
   ctrl : Dcqcn.t option;
   ecn_delay : float;
   marks : bool array; (* per chunk *)
+  cc_trace : Trace.t;
+  cc_flow : int;
 }
 
-let make_cc_state cfg =
+let make_cc_state cfg ~flow =
   match cfg.cc with
-  | No_cc -> { ctrl = None; ecn_delay = infinity; marks = [||] }
+  | No_cc ->
+      { ctrl = None; ecn_delay = infinity; marks = [||];
+        cc_trace = cfg.trace; cc_flow = flow }
   | Dcqcn { guard; ecn_delay } ->
       {
-        ctrl = Some (Dcqcn.create ~guard ~line_rate:nic_rate ());
+        ctrl =
+          Some (Dcqcn.create ~guard ~trace:cfg.trace ~flow ~line_rate:nic_rate ());
         ecn_delay;
         marks = Array.make cfg.chunks false;
+        cc_trace = cfg.trace;
+        cc_flow = flow;
       }
 
-let on_reserve_for cc chunk =
+let on_reserve_for engine cc chunk =
   match cc.ctrl with
   | None -> None
   | Some _ ->
       Some
-        (fun ~link:_ ~queue_delay ->
-          if queue_delay > cc.ecn_delay then cc.marks.(chunk) <- true)
+        (fun ~link ~queue_delay ->
+          if queue_delay > cc.ecn_delay then begin
+            Trace.ecn_mark cc.cc_trace ~time:(Engine.now engine) ~link
+              ~flow:cc.cc_flow ~chunk;
+            cc.marks.(chunk) <- true
+          end)
 
 (* A destination that received a marked chunk emits a CNP back to the
    sender — one per receiver, which is the multicast implosion the
@@ -89,12 +106,16 @@ let release_chunks engine cfg cc ~start ~chunk_bytes ~send =
   | None ->
       Engine.schedule engine start (fun () ->
           for c = 0 to cfg.chunks - 1 do
+            Trace.release cfg.trace ~time:start ~flow:cc.cc_flow ~chunk:c
+              ~rate:nic_rate;
             send c start
           done)
   | Some ctrl ->
       let rec go c t =
         if c < cfg.chunks then
           Engine.schedule engine t (fun () ->
+              Trace.release cfg.trace ~time:t ~flow:cc.cc_flow ~chunk:c
+                ~rate:(Dcqcn.rate ctrl ~now:t);
               send c t;
               let dt = Dcqcn.release_duration ctrl ~now:t ~bytes:chunk_bytes in
               go (c + 1) (t +. dt))
@@ -117,10 +138,10 @@ let run_ring engine links fabric paths cfg cc tracker (spec : Spec.collective)
     if idx < n - 1 then
       Transfer.unicast engine links ~links:hop_links.(idx) ~bytes:chunk_bytes
         ~start:t
-        ?on_reserve:(on_reserve_for cc chunk)
+        ?on_reserve:(on_reserve_for engine cc chunk)
         ?loss:cfg.loss
         ~on_delivered:(fun t' ->
-          record tracker order.(idx + 1) t';
+          record tracker order.(idx + 1) chunk t';
           maybe_cnp engine cc chunk t';
           forward (idx + 1) chunk t')
         ()
@@ -143,10 +164,10 @@ let run_btree engine links fabric paths cfg cc tracker (spec : Spec.collective)
           Transfer.unicast engine links
             ~links:(Paths.links paths order.(pos) order.(child))
             ~bytes:chunk_bytes ~start:t
-            ?on_reserve:(on_reserve_for cc chunk)
+            ?on_reserve:(on_reserve_for engine cc chunk)
             ?loss:cfg.loss
             ~on_delivered:(fun t' ->
-              record tracker order.(child) t';
+              record tracker order.(child) chunk t';
               maybe_cnp engine cc chunk t';
               forward child chunk t')
             ())
@@ -179,10 +200,10 @@ let run_dbtree engine links fabric paths cfg cc tracker (spec : Spec.collective)
         Transfer.unicast engine links
           ~links:(Paths.links paths node child)
           ~bytes:chunk_bytes ~start:t
-          ?on_reserve:(on_reserve_for cc chunk)
+          ?on_reserve:(on_reserve_for engine cc chunk)
           ?loss:cfg.loss
           ~on_delivered:(fun t' ->
-            record tracker child t';
+            record tracker child chunk t';
             maybe_cnp engine cc chunk t';
             forward tbl child chunk t')
           ())
@@ -205,13 +226,15 @@ let multicast_trees engine links cfg paths ~source cc tracker ~trees ~chunk
         if Hashtbl.mem tracker.dest_set node then begin
           l.Transfer.retransmissions <- l.Transfer.retransmissions + 1;
           Engine.schedule engine (time +. l.Transfer.rto) (fun () ->
+              Trace.retransmit tracker.trace ~time:(Engine.now engine)
+                ~flow:tracker.flow ~node;
               Transfer.unicast engine links
                 ~links:(Paths.links paths source node)
                 ~bytes:chunk_bytes
                 ~start:(Engine.now engine)
                 ?loss:cfg.loss
                 ~on_delivered:(fun t' ->
-                  record tracker node t';
+                  record tracker node chunk t';
                   maybe_cnp engine cc chunk t')
                 ())
         end
@@ -219,11 +242,11 @@ let multicast_trees engine links cfg paths ~source cc tracker ~trees ~chunk
   List.iter
     (fun tree ->
       Transfer.multicast engine links ~tree ~bytes:chunk_bytes ~start
-        ?on_reserve:(on_reserve_for cc chunk)
+        ?on_reserve:(on_reserve_for engine cc chunk)
         ?loss:cfg.loss
         ~on_lost:(fun ~node ~time -> recover node time)
         ~on_delivered:(fun ~node ~time ->
-          record tracker node time;
+          record tracker node chunk time;
           if Hashtbl.mem tracker.dest_set node then
             maybe_cnp engine cc chunk time;
           on_member ~node ~time ~chunk)
@@ -263,10 +286,10 @@ let run_orca engine links fabric paths cfg cc tracker (spec : Spec.collective)
             Transfer.unicast engine links
               ~links:(Paths.links paths node m)
               ~bytes:chunk_bytes ~start:time
-              ?on_reserve:(on_reserve_for cc chunk)
+              ?on_reserve:(on_reserve_for engine cc chunk)
               ?loss:cfg.loss
               ~on_delivered:(fun t' ->
-                record tracker m t';
+                record tracker m chunk t';
                 maybe_cnp engine cc chunk t')
               ())
           members
@@ -347,10 +370,10 @@ let launch engine links fabric paths cfg scheme ~(spec : Spec.collective)
     Engine.schedule engine spec.arrival (fun () -> on_complete 0.0)
   else begin
     let tracker =
-      make_tracker ~arrival:spec.arrival ~dests:spec.dests ~chunks:cfg.chunks
-        ~on_complete
+      make_tracker ~trace:cfg.trace ~flow:spec.id ~arrival:spec.arrival
+        ~dests:spec.dests ~chunks:cfg.chunks ~on_complete
     in
-    let cc = make_cc_state cfg in
+    let cc = make_cc_state cfg ~flow:spec.id in
     let chunk_bytes = spec.bytes /. float_of_int cfg.chunks in
     match scheme with
     | Scheme.Ring -> run_ring engine links fabric paths cfg cc tracker spec ~chunk_bytes

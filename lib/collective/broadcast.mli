@@ -34,10 +34,16 @@ type config = {
       (** per-link chunk loss with selective-repeat recovery: per-hop
           retransmit on unicast schedules, end-to-end source repair for
           multicast receivers (the RDMA machinery the paper inherits) *)
+  trace : Trace.t;
+      (** observability sink ({!Trace.null} = off): chunk releases and
+          destination deliveries, ECN marks, CNP/rate-cut/guard events
+          and end-to-end repairs are recorded against the collective's
+          [spec.id] as the flow id *)
 }
 
-val default_config : rng:Peel_util.Rng.t -> config
-(** chunks = 8, no congestion control, controller delays on, lossless. *)
+val default_config : ?trace:Trace.t -> rng:Peel_util.Rng.t -> unit -> config
+(** chunks = 8, no congestion control, controller delays on, lossless,
+    tracing off. *)
 
 val launch :
   Engine.t ->

@@ -8,15 +8,20 @@ type outcome = {
   events : int;
   makespan : float;
   telemetry : Telemetry.t;
+  trace : Trace.t;
 }
 
 let run_custom ?(chunks = 8) ?(cc = Broadcast.No_cc) ?(controller_seed = 1234)
-    ?(controller = true) ?loss ?(ecmp = true) fabric ~launch collectives =
-  let engine = Engine.create () in
-  let links = Link_state.create (Fabric.graph fabric) in
+    ?(controller = true) ?loss ?(ecmp = true) ?(trace = Trace.null) fabric
+    ~launch collectives =
+  let engine = Engine.create ~trace () in
+  let links = Link_state.create ~trace (Fabric.graph fabric) in
   let paths = Paths.create ~ecmp fabric in
   let cfg =
-    { Broadcast.chunks; cc; rng = Rng.create controller_seed; controller; loss }
+    {
+      Broadcast.chunks; cc; rng = Rng.create controller_seed; controller; loss;
+      trace;
+    }
   in
   let n = List.length collectives in
   let results = Array.make n nan in
@@ -40,14 +45,18 @@ let run_custom ?(chunks = 8) ?(cc = Broadcast.No_cc) ?(controller_seed = 1234)
   let ccts = Array.to_list results in
   (* Debug-mode invariant assertions (PEEL_CHECK=1): every collective
      completed with a sane CCT and no link was busy past the horizon. *)
-  if Peel_check.enabled () then
+  if Peel_check.enabled () then begin
     Peel_check.assert_valid ~what:"simulation outcome"
       (Peel_check.Check_sim.check_outcome ~expected:n ~ccts ~makespan telemetry);
-  { ccts; events = Engine.events_processed engine; makespan; telemetry }
+    if Trace.enabled trace then
+      Peel_check.assert_valid ~what:"simulation trace"
+        (Peel_check.Check_sim.check_trace trace)
+  end;
+  { ccts; events = Engine.events_processed engine; makespan; telemetry; trace }
 
-let run ?chunks ?cc ?controller_seed ?controller ?loss ?ecmp fabric scheme
-    collectives =
-  run_custom ?chunks ?cc ?controller_seed ?controller ?loss ?ecmp fabric
+let run ?chunks ?cc ?controller_seed ?controller ?loss ?ecmp ?trace fabric
+    scheme collectives =
+  run_custom ?chunks ?cc ?controller_seed ?controller ?loss ?ecmp ?trace fabric
     ~launch:(fun engine links paths cfg ~spec ~on_complete ->
       Broadcast.launch engine links fabric paths cfg scheme ~spec ~on_complete)
     collectives

@@ -9,7 +9,11 @@ type outcome = {
   events : int;            (** simulator events processed *)
   makespan : float;        (** time the last delivery happened *)
   telemetry : Peel_sim.Telemetry.t;
-      (** link utilization over the whole run *)
+      (** link utilization over the whole run, enriched with per-link
+          congestion detail when a [Full] trace was attached *)
+  trace : Peel_sim.Trace.t;
+      (** the trace the run recorded into ({!Peel_sim.Trace.null} if
+          none was requested) *)
 }
 
 val run :
@@ -19,13 +23,20 @@ val run :
   ?controller:bool ->
   ?loss:Peel_sim.Transfer.loss ->
   ?ecmp:bool ->
+  ?trace:Peel_sim.Trace.t ->
   Fabric.t ->
   Scheme.t ->
   Spec.collective list ->
   outcome
 (** Simulate every collective (they share the fabric and interact
     through link queues).  Raises [Failure] if any collective cannot
-    complete (unreachable destinations). *)
+    complete (unreachable destinations).
+
+    Pass a {!Peel_sim.Trace.t} (default off) to record structured
+    events: the engine, link layer, congestion control and broadcast
+    schemes all report into it, keyed by each collective's [spec.id].
+    With [PEEL_CHECK=1] the trace is additionally linted post-run
+    ({!Peel_check.Check_sim.check_trace}). *)
 
 val run_custom :
   ?chunks:int ->
@@ -34,6 +45,7 @@ val run_custom :
   ?controller:bool ->
   ?loss:Peel_sim.Transfer.loss ->
   ?ecmp:bool ->
+  ?trace:Peel_sim.Trace.t ->
   Fabric.t ->
   launch:
     (Peel_sim.Engine.t ->

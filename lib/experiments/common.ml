@@ -38,3 +38,14 @@ let summarize_run ?cc ?controller fabric scheme collectives =
 
 let fsec = Peel_util.Table.fsec
 let f2 x = Printf.sprintf "%.2f" x
+
+let micro_table_rows results =
+  List.map
+    (fun (name, ns) ->
+      [
+        name;
+        (match ns with
+        | Some ns when Float.is_finite ns -> Peel_util.Table.fsec (ns /. 1e9)
+        | _ -> "n/a");
+      ])
+    results

@@ -40,3 +40,9 @@ val summarize_run :
 val fsec : float -> string
 val f2 : float -> string
 (** Two-decimal float. *)
+
+val micro_table_rows : (string * float option) list -> string list list
+(** Format micro-benchmark estimates [(algorithm, ns-per-run)] as table
+    rows: the time pretty-printed in seconds, or ["n/a"] when the
+    estimate is missing or non-finite.  Total — every input produces a
+    row — so a benchmark whose analysis fails still shows up. *)

@@ -51,3 +51,5 @@ val over_coverage : m:int -> prefix list -> targets:int list -> int
 (** Number of covered identifiers that are not targets. *)
 
 val is_cover : m:int -> prefix list -> targets:int list -> bool
+(** Do the prefixes cover every target?  (Over-covering is allowed;
+    see {!over_coverage} for how much.) *)

@@ -21,6 +21,9 @@ type t = { prefix : Cover.prefix; raw : int }
 (** A wire-encoded header: [raw] packs length then value. *)
 
 val encode : m:int -> Cover.prefix -> t
+(** Pack a prefix into its wire form for an [m]-bit identifier space.
+    Raises [Invalid_argument] if the prefix does not fit. *)
+
 val decode : m:int -> int -> Cover.prefix
 (** Inverse of [encode] for the same [m]. Raises [Invalid_argument] on
     malformed input (length > m or value out of range). *)

@@ -18,10 +18,18 @@ type t
 val default_guard : float
 (** 50e-6 seconds, the paper's value. *)
 
-val create : ?guard:float option -> line_rate:float -> unit -> t
+val create :
+  ?guard:float option -> ?trace:Trace.t -> ?flow:int -> line_rate:float ->
+  unit -> t
 (** [guard = Some g] enables the sender-side guard timer with window
     [g]; [None] reacts to every CNP (classic receiver-driven DCQCN
-    behaviour under multicast). Default: [Some default_guard]. *)
+    behaviour under multicast). Default: [Some default_guard].
+
+    With a [trace], every {!on_cnp} emits a [Cnp] event attributed to
+    [flow] (default [-1] = unattributed), followed by a [Rate_cut]
+    (carrying the new rate) or — when the guard window suppresses the
+    reduction — a [Guard_hold]: the per-flow rate-evolution record the
+    paper's §4 guard-timer figure is drawn from. *)
 
 val rate : t -> now:float -> float
 (** Current sending rate (bytes/s) after lazy recovery. *)

@@ -4,16 +4,20 @@ type t = {
   mutable now : float;
   q : (unit -> unit) Heap.t;
   mutable processed : int;
+  trace : Trace.t;
 }
 
-let create () = { now = 0.0; q = Heap.create (); processed = 0 }
+let create ?(trace = Trace.null) () =
+  { now = 0.0; q = Heap.create (); processed = 0; trace }
+
 let now t = t.now
 
 let schedule t at f =
   if at < t.now then
     invalid_arg
       (Printf.sprintf "Engine.schedule: time %.9f is before now %.9f" at t.now);
-  Heap.push t.q at f
+  Heap.push t.q at f;
+  Trace.note_pending t.trace (Heap.length t.q)
 
 let schedule_in t dt f = schedule t (t.now +. dt) f
 
@@ -32,7 +36,8 @@ let run ?until t =
         | None -> ());
         loop ()
   in
-  loop ()
+  loop ();
+  Trace.note_engine t.trace ~events:t.processed
 
 let pending t = Heap.length t.q
 let events_processed t = t.processed

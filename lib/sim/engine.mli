@@ -7,7 +7,10 @@
 
 type t
 
-val create : unit -> t
+val create : ?trace:Trace.t -> unit -> t
+(** With a [trace] (default {!Trace.null}), the engine maintains the
+    trace's [engine_events] count and [engine_max_pending] queue-depth
+    high-water mark; an [Off] trace costs nothing. *)
 
 val now : t -> float
 (** Current simulation time in seconds; 0.0 before the first event. *)
@@ -24,4 +27,7 @@ val run : ?until:float -> t -> unit
     [until]; remaining events stay queued). *)
 
 val pending : t -> int
+(** Events still queued (only non-zero after a bounded [run ~until]). *)
+
 val events_processed : t -> int
+(** Total events executed so far, across all [run] calls. *)

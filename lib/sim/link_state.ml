@@ -1,23 +1,33 @@
 open Peel_topology
 
-type t = { graph : Graph.t; free : float array; busy : float array }
+type t = {
+  graph : Graph.t;
+  free : float array;
+  busy : float array;
+  trace : Trace.t;
+}
 
 type reservation = { start : float; finish : float; queue_delay : float }
 
-let create graph =
+let create ?(trace = Trace.null) graph =
   let n = Graph.num_links graph in
-  { graph; free = Array.make n 0.0; busy = Array.make n 0.0 }
+  { graph; free = Array.make n 0.0; busy = Array.make n 0.0; trace }
+
+let trace t = t.trace
 
 let reserve t ~link ~now ~bytes =
   if bytes <= 0.0 then invalid_arg "Link_state.reserve: bytes must be positive";
   let l = Graph.link t.graph link in
   if not l.Graph.up then invalid_arg "Link_state.reserve: link is down";
+  let backlog = Float.max 0.0 (t.free.(link) -. now) in
   let start = Float.max now t.free.(link) in
   let tx = bytes /. l.Graph.bandwidth in
   let finish = start +. tx in
   t.free.(link) <- finish;
   t.busy.(link) <- t.busy.(link) +. tx;
-  { start; finish; queue_delay = start -. now }
+  let queue_delay = start -. now in
+  Trace.reserve t.trace ~time:now ~link ~bytes ~queue_delay ~backlog;
+  { start; finish; queue_delay }
 
 let arrival t ~link r = r.finish +. (Graph.link t.graph link).Graph.latency
 

@@ -18,7 +18,13 @@ type reservation = {
   queue_delay : float; (** start - requested time *)
 }
 
-val create : Graph.t -> t
+val create : ?trace:Trace.t -> Graph.t -> t
+(** With a [trace] (default {!Trace.null}), every reservation emits a
+    [Reserve] event carrying its queueing delay and the backlog it
+    found; an [Off] trace adds one branch to the hot path. *)
+
+val trace : t -> Trace.t
+(** The trace this link state reports into ({!Trace.null} if none). *)
 
 val reserve : t -> link:int -> now:float -> bytes:float -> reservation
 (** Raises [Invalid_argument] if the link is down or [bytes <= 0]. *)

@@ -6,6 +6,11 @@ type link_report = {
   dst : int;
   tier : string;
   utilization : float;
+  reservations : int;
+  bytes : float;
+  ecn_marks : int;
+  max_backlog : float;
+  mean_queue_delay : float;
 }
 
 type t = { reports : link_report array }
@@ -18,18 +23,30 @@ let tier_of g lid =
 
 let snapshot g links ~horizon =
   if horizon <= 0.0 then invalid_arg "Telemetry.snapshot: horizon > 0";
+  let n = Graph.num_links g in
+  let stats = Trace.link_stats (Link_state.trace links) ~nlinks:n in
   let reports =
-    Array.init (Graph.num_links g) (fun lid ->
+    Array.init n (fun lid ->
         let l = Graph.link g lid in
+        let s = stats.(lid) in
         {
           link = lid;
           src = l.Graph.src;
           dst = l.Graph.dst;
           tier = tier_of g lid;
           utilization = Link_state.utilization links ~link:lid ~horizon;
+          reservations = s.Trace.l_reservations;
+          bytes = s.Trace.l_bytes;
+          ecn_marks = s.Trace.l_ecn_marks;
+          max_backlog = s.Trace.l_max_backlog;
+          mean_queue_delay =
+            (if s.Trace.l_reservations = 0 then 0.0
+             else s.Trace.l_sum_queue_delay /. float_of_int s.Trace.l_reservations);
         })
   in
   { reports }
+
+let reports t = t.reports
 
 let hottest t ~n =
   let sorted = Array.copy t.reports in
@@ -50,3 +67,21 @@ let tier_utilization t =
 
 let max_utilization t =
   Array.fold_left (fun acc r -> Float.max acc r.utilization) 0.0 t.reports
+
+let link_report_to_json r =
+  let module Json = Peel_util.Json in
+  Json.Obj
+    [
+      ("link", Json.int r.link);
+      ("src", Json.int r.src);
+      ("dst", Json.int r.dst);
+      ("tier", Json.str r.tier);
+      ("utilization", Json.num r.utilization);
+      ("reservations", Json.int r.reservations);
+      ("bytes", Json.num r.bytes);
+      ("ecn_marks", Json.int r.ecn_marks);
+      ("max_backlog", Json.num r.max_backlog);
+      ("mean_queue_delay", Json.num r.mean_queue_delay);
+    ]
+
+let to_json t = Peel_util.Json.Arr (Array.to_list (Array.map link_report_to_json t.reports))

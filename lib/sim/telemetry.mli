@@ -3,8 +3,11 @@
     A deployable multicast service needs path observability (paper §1
     footnote; §3.4).  The simulator already accounts per-link busy
     time; this module turns it into the reports an operator would pull:
-    hottest links, and mean utilization per fabric tier — which is how
-    the funnel-versus-fan-out asymmetry of multicast shows up. *)
+    hottest links, mean utilization per fabric tier — which is how the
+    funnel-versus-fan-out asymmetry of multicast shows up — and, when
+    the run carried a [Full] {!Trace}, per-link congestion detail
+    (reservation counts, bytes, ECN marks, worst-case backlog, mean
+    queueing delay). *)
 
 open Peel_topology
 
@@ -14,13 +17,25 @@ type link_report = {
   dst : int;
   tier : string;        (** e.g. "host->tor", "agg->core" *)
   utilization : float;  (** busy seconds / horizon *)
+  reservations : int;   (** chunks that crossed the link (0 without a
+                            [Full] trace; subject to its sampling) *)
+  bytes : float;        (** traced bytes across the link *)
+  ecn_marks : int;      (** chunks marked on this link *)
+  max_backlog : float;  (** worst queue depth found, in seconds *)
+  mean_queue_delay : float;  (** mean queueing delay of traced chunks *)
 }
 
 type t
 
 val snapshot : Graph.t -> Link_state.t -> horizon:float -> t
 (** [horizon] is the observation window (typically the simulation
-    makespan). Raises [Invalid_argument] if non-positive. *)
+    makespan). Raises [Invalid_argument] if non-positive.  The
+    trace-derived fields come from the link state's attached trace
+    ({!Link_state.trace}) and are zero when tracing was off or below
+    [Full]. *)
+
+val reports : t -> link_report array
+(** One report per directed link, indexed by link id. *)
 
 val hottest : t -> n:int -> link_report list
 (** The [n] most utilized links, descending. *)
@@ -30,3 +45,12 @@ val tier_utilization : t -> (string * float) list
     tiers with zero traffic are included at 0. *)
 
 val max_utilization : t -> float
+(** The single highest per-link utilization (0 on an empty fabric);
+    values above 1 mean a link stayed busy past the horizon — an
+    invariant violation {!Peel_check.Check_sim.check_outcome} flags. *)
+
+val link_report_to_json : link_report -> Peel_util.Json.t
+
+val to_json : t -> Peel_util.Json.t
+(** All link reports as a JSON array (the ["links"] section of the
+    [peel_cli trace] export). *)

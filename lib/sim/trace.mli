@@ -1,0 +1,179 @@
+(** Structured, low-overhead event tracing for the simulator.
+
+    The paper's evaluation (Figs. 5–7) argues entirely from what
+    happens on the wire — queue backlog, ECN marking, DCQCN rate
+    evolution, per-link utilization — so the simulator records those
+    micro-events here: per-link reservations (with queueing delay and
+    backlog), per-flow chunk releases and deliveries, congestion
+    control activity (CNPs, rate cuts, §4 guard-timer holds) and loss
+    events.
+
+    A trace has a verbosity {!level}:
+
+    - [Off]: every emitter returns immediately; the simulation's hot
+      path does no tracing work and allocates nothing.  {!null} is a
+      shared always-off trace, the default everywhere.
+    - [Counters]: aggregate counters only — O(1) memory however long
+      the run.
+    - [Full]: counters plus the structured event log.  High-volume
+      [Reserve] events can additionally be downsampled with the
+      [sample] knob (record every Nth); counters stay exact.
+
+    Events carry the simulation timestamp and are recorded in emit
+    order, so a well-formed trace has non-decreasing timestamps —
+    one of the invariants {!Peel_check.Check_sim.check_trace} lints.
+
+    [flow] identifiers are the workload's collective ids
+    ([Peel_workload.Spec.collective.id]); [-1] marks events the
+    emitting layer cannot attribute to a flow (e.g. a per-hop unicast
+    retransmission deep inside {!Transfer}). *)
+
+type level = Off | Counters | Full
+
+type kind =
+  | Reserve of { link : int; bytes : float; queue_delay : float; backlog : float }
+      (** a chunk claimed [link]; [backlog] is the queue depth in
+          seconds {e before} this reservation *)
+  | Ecn_mark of { link : int; flow : int; chunk : int }
+      (** queueing delay on [link] exceeded the ECN threshold *)
+  | Delivery of { node : int; flow : int; chunk : int }
+      (** a destination received a chunk (intermediate hops excluded) *)
+  | Release of { flow : int; chunk : int; rate : float }
+      (** the source emitted a chunk, paced at [rate] bytes/s *)
+  | Cnp of { flow : int }  (** a congestion notification reached the sender *)
+  | Rate_cut of { flow : int; rate : float }
+      (** DCQCN halved the rate; [rate] is the new value *)
+  | Guard_hold of { flow : int }
+      (** the §4 guard timer suppressed a rate cut *)
+  | Drop of { link : int }
+      (** the loss model dropped a chunk on [link] (stamped at the
+          chunk's reservation instant, keeping the log monotone) *)
+  | Retransmit of { flow : int; node : int }
+      (** a repair send (hop-local or end-to-end); [-1] = unattributed *)
+
+type event = { time : float; kind : kind }
+
+(** Aggregate counters, updated on every emit at [Counters] and [Full]
+    (exact regardless of sampling).  [engine_events] and
+    [engine_max_pending] are maintained by {!Engine}. *)
+type counters = {
+  mutable reservations : int;
+  mutable bytes_reserved : float;
+  mutable ecn_marks : int;
+  mutable deliveries : int;
+  mutable releases : int;
+  mutable cnps : int;
+  mutable rate_cuts : int;
+  mutable guard_holds : int;
+  mutable drops : int;
+  mutable retransmits : int;
+  mutable engine_events : int;
+  mutable engine_max_pending : int;
+}
+
+type t
+
+val create : ?level:level -> ?sample:int -> unit -> t
+(** [level] defaults to [Full]; [sample] (default 1) records every Nth
+    [Reserve] event.  Raises [Invalid_argument] if [sample < 1]. *)
+
+val null : t
+(** The shared always-[Off] trace; all emitters are no-ops on it. *)
+
+val enabled : t -> bool
+(** [level t <> Off]. *)
+
+val level : t -> level
+val sample : t -> int
+
+val counters : t -> counters
+(** The live counter record (all zero on an [Off] trace). *)
+
+val events : t -> event array
+(** Recorded events in emit order (a copy; empty below [Full]). *)
+
+val num_events : t -> int
+
+val sampled_out : t -> int
+(** [Reserve] emissions the sampling knob skipped (so
+    [reservations = reserve events + sampled_out] on a [Full] trace). *)
+
+(** {1 Emitters}
+
+    Called from the simulator's hot paths; each checks the level first
+    and returns immediately on an [Off] trace. *)
+
+val reserve :
+  t -> time:float -> link:int -> bytes:float -> queue_delay:float ->
+  backlog:float -> unit
+
+val ecn_mark : t -> time:float -> link:int -> flow:int -> chunk:int -> unit
+(** A chunk of [flow] saw over-threshold queueing delay on [link]. *)
+
+val delivery : t -> time:float -> node:int -> flow:int -> chunk:int -> unit
+(** A destination [node] received [chunk] of [flow]. *)
+
+val release : t -> time:float -> flow:int -> chunk:int -> rate:float -> unit
+(** The source of [flow] emitted [chunk], paced at [rate] bytes/s. *)
+
+val cnp : t -> time:float -> flow:int -> unit
+val rate_cut : t -> time:float -> flow:int -> rate:float -> unit
+val guard_hold : t -> time:float -> flow:int -> unit
+val drop : t -> time:float -> link:int -> unit
+val retransmit : t -> time:float -> flow:int -> node:int -> unit
+
+val note_engine : t -> events:int -> unit
+(** Record the engine's processed-event count (monotone max). *)
+
+val note_pending : t -> int -> unit
+(** Record an event-queue depth sample (keeps the high-water mark). *)
+
+(** {1 Aggregation} *)
+
+type link_stats = {
+  l_reservations : int;
+  l_bytes : float;
+  l_ecn_marks : int;
+  l_max_backlog : float;   (** seconds of queue ahead, worst case *)
+  l_sum_queue_delay : float;
+}
+
+val link_stats : t -> nlinks:int -> link_stats array
+(** Per-link aggregates from the recorded [Reserve]/[Ecn_mark] events
+    (subject to sampling; all-zero below [Full]).  Events naming a link
+    [>= nlinks] are ignored. *)
+
+type flow_stats = {
+  f_flow : int;
+  f_releases : int;
+  f_deliveries : int;
+  f_cnps : int;
+  f_rate_cuts : int;
+  f_guard_holds : int;
+  f_retransmits : int;
+  f_first_delivery : float;      (** nan if none *)
+  f_last_delivery : float;       (** nan if none *)
+  f_mean_chunk_latency : float;  (** release-to-delivery; nan if unknown *)
+  f_max_chunk_latency : float;   (** nan if unknown *)
+}
+
+val flow_stats : t -> flow_stats list
+(** Per-flow aggregates from the event log, ascending flow id
+    (unattributed [-1] events excluded).  Chunk latency pairs each
+    delivery with its chunk's first [Release]. *)
+
+(** {1 Export} *)
+
+val counters_to_json : t -> Peel_util.Json.t
+(** Counters as a flat JSON object (stable key names). *)
+
+val events_to_json : t -> Peel_util.Json.t
+(** The event log as a JSON array; every event is an object with ["t"]
+    and ["kind"] plus the kind's fields. *)
+
+val csv_header : string
+(** ["time,kind,link,node,flow,chunk,bytes,queue_delay,backlog,rate"]. *)
+
+val events_csv : t -> string
+(** The event log as CSV ({!csv_header} first); fields a kind lacks are
+    left empty. *)

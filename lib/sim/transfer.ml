@@ -41,9 +41,14 @@ let unicast engine links ~links:path ~bytes ~start ?on_reserve ?loss
               (* This hop's sender detects the gap and resends. *)
               let l = Option.get loss in
               l.retransmissions <- l.retransmissions + 1;
+              let tr = Link_state.trace links in
+              Trace.drop tr ~time:t ~link:lid;
               Engine.schedule engine
                 (r.Link_state.finish +. l.rto)
-                (fun () -> hop remaining (Engine.now engine))
+                (fun () ->
+                  let now = Engine.now engine in
+                  Trace.retransmit tr ~time:now ~flow:(-1) ~node:(-1);
+                  hop remaining now)
             end
             else begin
               let arrive = Link_state.arrival links ~link:lid r in
@@ -73,6 +78,7 @@ let multicast engine links ~tree ~bytes ~start ?on_reserve ?loss ?on_lost
             | Some f -> f ~link:lid ~queue_delay:r.Link_state.queue_delay
             | None -> ());
             if dropped loss then begin
+              Trace.drop (Link_state.trace links) ~time:t ~link:lid;
               (match on_lost with
               | Some f -> f ~node:child ~time:r.Link_state.finish
               | None -> ());

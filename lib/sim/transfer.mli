@@ -5,7 +5,12 @@
     to cross it* (event time), so concurrent collectives interleave in
     true FIFO order on shared links.  The optional [on_reserve] hook
     observes every reservation (link id and queueing delay) — the
-    attachment point for ECN marking and telemetry. *)
+    attachment point for ECN marking and telemetry.
+
+    When the link state carries a {!Trace}, both primitives emit [Drop]
+    events for chunks the loss model discards, and unicast's hop-local
+    repairs emit (unattributed) [Retransmit] events; per-link [Reserve]
+    events come from {!Link_state.reserve} itself. *)
 
 open Peel_topology
 

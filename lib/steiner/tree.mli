@@ -46,6 +46,8 @@ val depth : t -> int -> int
     non-members. *)
 
 val max_depth : t -> int
+(** Deepest member's hop count from the root (0 for a root-only tree) —
+    the store-and-forward latency driver. *)
 
 val path_from_root : t -> int -> int list
 (** Node ids from the root down to the given member, inclusive. *)

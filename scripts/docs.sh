@@ -1,0 +1,20 @@
+#!/bin/sh
+# Documentation and observability gate:
+#   - `dune build @doc` must succeed (and, when odoc is installed,
+#     render the API docs warning-free; without odoc the alias is
+#     empty and this only checks the build graph)
+#   - the @trace-smoke alias runs a small traced simulation end to end
+#     under PEEL_CHECK=1 and lints the exported trace (SIM005/SIM006)
+# Exits non-zero on the first failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build @doc
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc-private
+else
+  echo "docs.sh: odoc not installed; skipped @doc-private rendering"
+fi
+
+dune build @trace-smoke
+echo "docs.sh: OK"

@@ -1,9 +1,11 @@
 #!/bin/sh
 # Run the static invariant lint battery: the @check-lint alias drives
 # `peel_cli check` over representative fabrics (healthy, failed,
-# budgeted), and the unit suite exercises every diagnostic code.
+# budgeted), the @trace-smoke alias lints a traced simulation's export
+# (SIM005/SIM006), and the unit suite exercises every diagnostic code.
 # Exits non-zero on the first violated invariant.
 set -eu
 cd "$(dirname "$0")/.."
 dune build @check-lint
+dune build @trace-smoke
 dune exec test/test_check.exe -- -c

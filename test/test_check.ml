@@ -266,6 +266,45 @@ let test_corrupt_outcome () =
   check_code "missing collective" "SIM003"
     (Check_sim.check_outcome ~expected:3 ~ccts:[ 1e-3 ] ~makespan telemetry)
 
+let test_corrupt_trace () =
+  let module Trace = Peel_sim.Trace in
+  (* A clean trace from a real run passes. *)
+  let fabric = ls () in
+  let trace = Trace.create () in
+  let cs =
+    Peel_workload.Spec.poisson_broadcasts fabric (Rng.create 14) ~n:2 ~scale:8
+      ~bytes:1e6 ~load:0.3 ()
+  in
+  let receivers =
+    List.fold_left
+      (fun acc (c : Peel_workload.Spec.collective) ->
+        acc + List.length c.Peel_workload.Spec.dests)
+      0 cs
+  in
+  ignore
+    (Peel_collective.Runner.run ~chunks:8 ~trace fabric
+       Peel_collective.Scheme.Peel cs);
+  check_no_errors "real trace"
+    (Check_sim.check_trace ~expected_deliveries:(8 * receivers) trace);
+  (* Conservation violation: demand one more delivery than traced. *)
+  check_code "missing delivery" "SIM005"
+    (Check_sim.check_trace ~expected_deliveries:((8 * receivers) + 1) trace);
+  (* Structural corruption: a hand-built log that runs backwards. *)
+  let bad = Trace.create () in
+  Trace.delivery bad ~time:2.0 ~node:1 ~flow:0 ~chunk:0;
+  Trace.delivery bad ~time:1.0 ~node:2 ~flow:0 ~chunk:1;
+  check_code "backwards timestamps" "SIM006" (Check_sim.check_trace bad);
+  (* Malformed reserve event: negative bytes. *)
+  let bad = Trace.create () in
+  Trace.reserve bad ~time:0.0 ~link:0 ~bytes:(-5.0) ~queue_delay:0.0
+    ~backlog:0.0;
+  check_code "negative bytes" "SIM006" (Check_sim.check_trace bad);
+  (* Counter drift: counters say more deliveries than the log holds. *)
+  let bad = Trace.create () in
+  Trace.delivery bad ~time:1.0 ~node:1 ~flow:0 ~chunk:0;
+  (Trace.counters bad).Trace.deliveries <- 2;
+  check_code "counter drift" "SIM006" (Check_sim.check_trace bad)
+
 let test_corrupt_cc_params () =
   check_no_errors "paper defaults"
     (Check_sim.check_cc_params ~ecn_delay:20e-6 ~line_rate:12.5e9 ());
@@ -427,6 +466,7 @@ let () =
             test_corrupt_chunk_conservation;
           Alcotest.test_case "tree cost bound" `Quick test_corrupt_tree_cost_bound;
           Alcotest.test_case "simulation outcome" `Quick test_corrupt_outcome;
+          Alcotest.test_case "simulation trace" `Quick test_corrupt_trace;
           Alcotest.test_case "cc params" `Quick test_corrupt_cc_params;
           Alcotest.test_case "fabric links" `Quick test_corrupt_fabric_link;
           Alcotest.test_case "btree orphan" `Quick test_corrupt_btree_orphan;

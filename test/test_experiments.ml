@@ -85,6 +85,29 @@ let test_trials_scaling () =
   Alcotest.(check int) "quick" 5 (Common.trials Common.Quick ~full:40);
   Alcotest.(check int) "quick floor" 4 (Common.trials Common.Quick ~full:8)
 
+(* Micro-benchmark table formatting: total over its input — a missing
+   or non-finite estimate must still yield a row, never drop one. *)
+
+let test_micro_table_rows () =
+  let rows =
+    Common.micro_table_rows
+      [
+        ("fast", Some 150.0);          (* 150 ns *)
+        ("slow", Some 2.5e9);          (* 2.5 s *)
+        ("failed", None);
+        ("diverged", Some nan);
+        ("overflowed", Some infinity);
+      ]
+  in
+  Alcotest.(check int) "one row per input" 5 (List.length rows);
+  Alcotest.(check (list (list string)))
+    "formatting"
+    [
+      [ "fast"; "150.0 ns" ]; [ "slow"; "2.500 s" ]; [ "failed"; "n/a" ];
+      [ "diverged"; "n/a" ]; [ "overflowed"; "n/a" ];
+    ]
+    rows
+
 let () =
   Alcotest.run "peel_experiments"
     [
@@ -96,5 +119,6 @@ let () =
           Alcotest.test_case "approx bandwidth" `Quick test_approx_bandwidth;
           Alcotest.test_case "tenancy rows" `Slow test_tenancy_rows;
           Alcotest.test_case "trials scaling" `Quick test_trials_scaling;
+          Alcotest.test_case "micro table rows" `Quick test_micro_table_rows;
         ] );
     ]

@@ -329,6 +329,69 @@ let test_table_formats () =
   Alcotest.(check string) "kb" "1.50 KB" (Table.fbytes 1500.0);
   Alcotest.(check string) "factor" "5.2x" (Table.ffactor 5.2)
 
+(* ------------------------------------------------------------------ *)
+(* Json                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ok s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+
+let test_json_write () =
+  Alcotest.(check string) "scalars" {|[null,true,false,0,-1.5,"a"]|}
+    (Json.to_string
+       (Json.Arr
+          [ Json.Null; Json.Bool true; Json.Bool false; Json.num 0.0;
+            Json.num (-1.5); Json.str "a" ]));
+  Alcotest.(check string) "object" {|{"k":1,"s":"v"}|}
+    (Json.to_string (Json.Obj [ ("k", Json.int 1); ("s", Json.str "v") ]));
+  Alcotest.(check string) "escapes" {|"a\"b\\c\nd"|}
+    (Json.to_string (Json.str "a\"b\\c\nd"));
+  Alcotest.(check string) "non-finite is null" "[null,null,null]"
+    (Json.to_string (Json.Arr [ Json.num nan; Json.num infinity; Json.num neg_infinity ]))
+
+let test_json_parse () =
+  (match parse_ok {| { "a" : [1, 2.5e1, -3], "b" : "xA\n" } |} with
+  | Json.Obj [ ("a", Json.Arr nums); ("b", Json.Str s) ] ->
+      Alcotest.(check (list (float 0.0))) "numbers" [ 1.0; 25.0; -3.0 ]
+        (List.map (fun v -> Option.get (Json.get_num v)) nums);
+      Alcotest.(check string) "escapes decoded" "xA\n" s
+  | _ -> Alcotest.fail "unexpected shape");
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" bad))
+    [ ""; "{"; "[1,]"; "tru"; "\"unterminated"; "1 2"; "{\"a\":}"; "nan";
+      "\"bad \\x escape\"" ]
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("ints", Json.Arr [ Json.int 0; Json.int (-7); Json.num 1e15 ]);
+        ("floats", Json.Arr [ Json.num 0.1; Json.num 1.5e-300; Json.num 3.14159 ]);
+        ("deep", Json.Obj [ ("x", Json.Arr [ Json.Obj []; Json.Arr [] ]) ]);
+        ("unicode", Json.str "caf\xc3\xa9 \t \x01");
+      ]
+  in
+  Alcotest.(check bool) "parse inverts to_string" true
+    (parse_ok (Json.to_string v) = v)
+
+let test_json_accessors () =
+  let v = parse_ok {|{"n":4,"s":"hi","a":[1],"b":true}|} in
+  Alcotest.(check (option (float 0.0))) "num" (Some 4.0)
+    (Option.bind (Json.member "n" v) Json.get_num);
+  Alcotest.(check (option string)) "str" (Some "hi")
+    (Option.bind (Json.member "s" v) Json.get_str);
+  Alcotest.(check (option bool)) "bool" (Some true)
+    (Option.bind (Json.member "b" v) Json.get_bool);
+  Alcotest.(check bool) "arr" true
+    (Option.bind (Json.member "a" v) Json.get_arr = Some [ Json.Num 1.0 ]);
+  Alcotest.(check bool) "missing member" true (Json.member "zz" v = None);
+  Alcotest.(check bool) "wrong type" true (Json.get_num (Json.str "x") = None)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "peel_util"
@@ -385,5 +448,12 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "pads short rows" `Quick test_table_pads_short_rows;
           Alcotest.test_case "formats" `Quick test_table_formats;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "write" `Quick test_json_write;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
         ] );
     ]
