@@ -32,6 +32,7 @@ let experiments : (string * string * (Common.mode -> unit)) list =
     ("loss", "E13 (ext): loss and selective repeat", Exp_loss.run);
     ("tenancy", "E14 (ext): concurrent jobs vs TCAM", Exp_tenancy.run);
     ("rail", "E15 (ext): rail-optimized fabric", Exp_rail.run);
+    ("failover", "E16 (ext): mid-run failures and re-peeling", Exp_failover.run);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -123,7 +124,7 @@ let headline_ccts () =
       (Scheme.to_string scheme, s))
     Scheme.all
 
-let write_bench_json ~mode ~exp_times ~micro ~headline ~total =
+let write_bench_json ~mode ~exp_times ~micro ~headline ~failover ~total =
   let module Json = Peel_util.Json in
   let opt_num = function Some x -> Json.num x | None -> Json.Null in
   let doc =
@@ -154,6 +155,7 @@ let write_bench_json ~mode ~exp_times ~micro ~headline ~total =
                      ("max", Json.num s.Peel_util.Stats.max);
                    ])
                headline) );
+        ("failover_degradation", failover);
         ("total_wall_s", Json.num total);
       ]
   in
@@ -197,6 +199,9 @@ let () =
     if run_all || List.mem "micro" selections then run_micro () else []
   in
   let headline = headline_ccts () in
+  (* Always at Quick scale: a deterministic CCT-degradation record for
+     PEEL and the baselines, regardless of which experiments ran. *)
+  let failover = Exp_failover.rows_json Common.Quick in
   let total = Unix.gettimeofday () -. t0 in
-  write_bench_json ~mode ~exp_times ~micro ~headline ~total;
+  write_bench_json ~mode ~exp_times ~micro ~headline ~failover ~total;
   Printf.printf "\ntotal wall time: %.1f s (BENCH.json written)\n" total

@@ -4,6 +4,7 @@
      plan       — compute a multicast tree + prefix send plan for a group
      simulate   — run Broadcast workloads through the simulator
      trace      — run one workload with tracing on; export JSON/CSV
+     failover   — inject a scheduled mid-run link failure and re-peel
      state      — switch-state and header accounting for a fat-tree degree
      experiment — regenerate a paper table/figure by name               *)
 
@@ -279,6 +280,7 @@ let trace_cmd =
         ("rate_cuts", Json.int f.Trace.f_rate_cuts);
         ("guard_holds", Json.int f.Trace.f_guard_holds);
         ("retransmits", Json.int f.Trace.f_retransmits);
+        ("replans", Json.int f.Trace.f_replans);
         ("first_delivery", Json.num f.Trace.f_first_delivery);
         ("last_delivery", Json.num f.Trace.f_last_delivery);
         ("mean_chunk_latency", Json.num f.Trace.f_mean_chunk_latency);
@@ -426,6 +428,155 @@ let trace_cmd =
       $ load $ n $ chunks $ level $ sample $ out $ csv $ quiet)
 
 (* ------------------------------------------------------------------ *)
+(* failover                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let failover_cmd =
+  let module Trace = Peel_sim.Trace in
+  let scheme =
+    let parse s =
+      match Failover.scheme_of_string s with
+      | Some x -> Ok x
+      | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+    in
+    let print fmt s =
+      Format.pp_print_string fmt (Failover.scheme_to_string s)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Failover.Peel
+      & info [ "scheme" ] ~docv:"SCHEME" ~doc:"Scheme: peel, ring or tree.")
+  in
+  let size_mb =
+    Arg.(value & opt float 16.0 & info [ "size" ] ~doc:"Message size in MB.")
+  in
+  let chunks =
+    Arg.(value & opt int 8 & info [ "chunks" ] ~doc:"Pipelined chunks per message.")
+  in
+  let fail_frac =
+    Arg.(
+      value & opt float 0.05
+      & info [ "fail-frac" ]
+          ~doc:"Fraction of fabric duplex links the schedule fails.")
+  in
+  let fail_at =
+    Arg.(
+      value & opt float 0.4
+      & info [ "fail-at" ]
+          ~doc:"Failure instant as a fraction of the clean (failure-free) CCT.")
+  in
+  let recover_after =
+    Arg.(
+      value & opt (some float) None
+      & info [ "recover-after" ]
+          ~doc:"Bring the links back up this many seconds after the failure.")
+  in
+  let detection =
+    Arg.(
+      value & opt float 500e-6
+      & info [ "detection" ] ~doc:"Controller failure-detection delay (s).")
+  in
+  let reaction =
+    Arg.(
+      value & opt float 1e-3
+      & info [ "reaction" ] ~doc:"Controller replan delay after detection (s).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the verdict line.")
+  in
+  let run fabric seed scale scheme size_mb chunks fail_frac fail_at
+      recover_after detection reaction quiet =
+    let module D = Peel_check.Diagnostic in
+    let rng = Rng.create seed in
+    let members = Spec.place fabric rng ~scale () in
+    let source = List.hd members in
+    let spec =
+      {
+        Spec.id = 0;
+        arrival = 0.0;
+        source;
+        dests = List.filter (fun m -> m <> source) members;
+        members;
+        bytes = size_mb *. 1e6;
+      }
+    in
+    let ctrl = { Failover.default_ctrl with detection; reaction } in
+    (* Clean run first: the failure instant is a fraction of its CCT. *)
+    let clean =
+      List.hd (Failover.run ~chunks ~ctrl fabric scheme [ spec ]).Runner.ccts
+    in
+    (* Draw the victim links with connectivity ensured, then put them
+       back up — only the schedule fails them, mid-run. *)
+    let ids = Fabric.fail_random fabric ~rng ~tier:`All ~fraction:fail_frac () in
+    List.iter (Fabric.recover_link fabric) ids;
+    let fail_time = fail_at *. clean in
+    let faults =
+      Peel_sim.Fault.schedule_of_failures ~at:fail_time
+        ?recover_at:(Option.map (fun d -> fail_time +. d) recover_after)
+        ids
+    in
+    let trace = Trace.create ~level:Trace.Full () in
+    let out = Failover.run ~chunks ~ctrl ~trace ~faults fabric scheme [ spec ] in
+    let failed_cct = List.hd out.Runner.ccts in
+    let c = Trace.counters trace in
+    if not quiet then begin
+      Printf.printf "fabric: %s; scheme %s; %d GPUs x %.0f MB in %d chunks\n"
+        (Fabric.describe fabric)
+        (Failover.scheme_to_string scheme)
+        scale size_mb chunks;
+      Printf.printf "schedule: %d duplex links fail at %s (%.0f%% of clean CCT)%s\n"
+        (List.length ids)
+        (Peel_util.Table.fsec fail_time)
+        (fail_at *. 100.)
+        (match recover_after with
+        | None -> ", no recovery"
+        | Some d -> Printf.sprintf ", recover after %s" (Peel_util.Table.fsec d));
+      Printf.printf "controller: detection %s, reaction %s\n\n"
+        (Peel_util.Table.fsec detection)
+        (Peel_util.Table.fsec reaction);
+      Peel_util.Table.print ~header:[ "metric"; "value" ]
+        [
+          [ "clean CCT"; Peel_util.Table.fsec clean ];
+          [ "failover CCT"; Peel_util.Table.fsec failed_cct ];
+          [ "degradation"; Printf.sprintf "%.2fx" (failed_cct /. clean) ];
+          [ "link failures"; string_of_int c.Trace.link_fails ];
+          [ "link recoveries"; string_of_int c.Trace.link_recovers ];
+          [ "replans"; string_of_int c.Trace.replans ];
+          [ "drops"; string_of_int c.Trace.drops ];
+          [ "retransmits"; string_of_int c.Trace.retransmits ];
+          [ "deliveries"; string_of_int c.Trace.deliveries ];
+        ];
+      print_newline ()
+    end;
+    let expected_deliveries = chunks * List.length spec.Spec.dests in
+    let ds =
+      Peel_check.Check_sim.check_outcome ~expected:1 ~ccts:out.Runner.ccts
+        ~makespan:out.Runner.makespan out.Runner.telemetry
+      @ Peel_check.Check_sim.check_trace ~expected_deliveries trace
+    in
+    if ds <> [] && not quiet then Format.printf "%a" D.pp_report ds;
+    let errs = D.errors ds in
+    Printf.printf
+      "failover %s: CCT %s -> %s (%.2fx), %d replan(s), %d finding(s), %d error(s)\n"
+      (Failover.scheme_to_string scheme)
+      (Peel_util.Table.fsec clean)
+      (Peel_util.Table.fsec failed_cct)
+      (failed_cct /. clean) c.Trace.replans (List.length ds) (List.length errs);
+    if errs <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "failover"
+       ~doc:
+         "Run one broadcast with a scheduled mid-run link failure; the \
+          controller re-peels around the cut (PEEL) or repairs end to end \
+          (ring/tree). Exits non-zero if the trace fails its lint, including \
+          SIM007: no traffic through a down link.")
+    Term.(
+      const run $ fabric_term $ seed_term $ scale_term $ scheme $ size_mb
+      $ chunks $ fail_frac $ fail_at $ recover_after $ detection $ reaction
+      $ quiet)
+
+(* ------------------------------------------------------------------ *)
 (* collective                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -521,7 +672,7 @@ let experiment_cmd =
       ("approx", Exp_approx.run); ("frag", Exp_frag.run);
       ("collectives", Exp_collectives.run); ("multipath", Exp_multipath.run);
       ("loss", Exp_loss.run); ("tenancy", Exp_tenancy.run);
-      ("rail", Exp_rail.run);
+      ("rail", Exp_rail.run); ("failover", Exp_failover.run);
     ]
   in
   let exp_name =
@@ -548,6 +699,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            plan_cmd; check_cmd; simulate_cmd; trace_cmd; collective_cmd;
-            state_cmd; experiment_cmd;
+            plan_cmd; check_cmd; simulate_cmd; trace_cmd; failover_cmd;
+            collective_cmd; state_cmd; experiment_cmd;
           ]))

@@ -86,6 +86,11 @@ let check_trace ?expected_deliveries trace =
   let last = ref neg_infinity in
   let counts = Hashtbl.create 8 in
   let bump k = Hashtbl.replace counts k (1 + Option.value (Hashtbl.find_opt counts k) ~default:0) in
+  (* Duplex pairs currently down, replayed from the fault events.  A
+     reservation on a down pair means a chunk was pushed through a dead
+     link — and since delivery needs the final hop's reservation, this
+     also enforces "no delivery crosses a down link". *)
+  let down = Hashtbl.create 8 in
   Array.iteri
     (fun i (ev : T.event) ->
       let loc = Printf.sprintf "event %d" i in
@@ -104,9 +109,20 @@ let check_trace ?expected_deliveries trace =
             add
               (D.errorf ~code:"SIM006" ~loc
                  "malformed reserve event (link %d, %g bytes, %g queue delay, %g backlog)"
-                 link bytes queue_delay backlog)
+                 link bytes queue_delay backlog);
+          if Hashtbl.mem down (link land lnot 1) then
+            add
+              (D.errorf ~code:"SIM007" ~loc
+                 "link %d reserved while its duplex pair is down" link)
       | T.Delivery _ -> bump `Delivery
       | T.Release _ -> bump `Release
+      | T.Link_fail { link } ->
+          bump `Link_fail;
+          Hashtbl.replace down (link land lnot 1) ()
+      | T.Link_recover { link } ->
+          bump `Link_recover;
+          Hashtbl.remove down (link land lnot 1)
+      | T.Replan _ -> bump `Replan
       | _ -> ()))
     evs;
   (* At Full verbosity the event log and the counters must agree —
@@ -127,7 +143,21 @@ let check_trace ?expected_deliveries trace =
     if n `Release <> c.T.releases then
       add
         (D.errorf ~code:"SIM006" ~loc:"trace"
-           "%d release events <> %d releases counted" (n `Release) c.T.releases)
+           "%d release events <> %d releases counted" (n `Release) c.T.releases);
+    if n `Link_fail <> c.T.link_fails then
+      add
+        (D.errorf ~code:"SIM006" ~loc:"trace"
+           "%d link-fail events <> %d link failures counted" (n `Link_fail)
+           c.T.link_fails);
+    if n `Link_recover <> c.T.link_recovers then
+      add
+        (D.errorf ~code:"SIM006" ~loc:"trace"
+           "%d link-recover events <> %d link recoveries counted"
+           (n `Link_recover) c.T.link_recovers);
+    if n `Replan <> c.T.replans then
+      add
+        (D.errorf ~code:"SIM006" ~loc:"trace"
+           "%d replan events <> %d replans counted" (n `Replan) c.T.replans)
   end;
   List.rev !ds
 

@@ -15,7 +15,11 @@
     - [SIM006] a recorded trace is structurally broken: timestamps run
       backwards or are invalid, a reserve event carries non-positive
       bytes or a negative delay, or (at [Full] level) the event log
-      disagrees with the aggregate counters *)
+      disagrees with the aggregate counters
+    - [SIM007] a link was reserved while its duplex pair was down,
+      replaying the trace's [Link_fail]/[Link_recover] events — since
+      delivery requires the final hop's reservation, this also enforces
+      that no chunk is delivered through a failed link *)
 
 open Peel_topology
 
@@ -45,9 +49,11 @@ val check_trace :
 (** Structural lint of a recorded trace: timestamps non-decreasing and
     finite, reserve events well-formed, and — at [Full] level — the
     event log consistent with the counters (reserve events plus
-    sampling skips equal reservations; delivery and release events
-    equal their counters).  When [expected_deliveries] is given, traced
-    deliveries must equal it (chunk conservation, [SIM005]). *)
+    sampling skips equal reservations; delivery, release, link-fail,
+    link-recover and replan events equal their counters).  Replays
+    fault events to flag any reservation on a down duplex pair
+    ([SIM007]).  When [expected_deliveries] is given, traced deliveries
+    must equal it (chunk conservation, [SIM005]). *)
 
 val check_chunk_conservation :
   chunks:int -> receivers:int -> delivered:int -> Diagnostic.t list

@@ -10,7 +10,7 @@ let symmetric_lower_bound fabric ~source ~dests =
       (fun acc (l : Graph.link) -> if l.Graph.up then acc else l.Graph.link_id :: acc)
       [] (Graph.links g)
   in
-  List.iter (Graph.restore_link g) downs;
+  List.iter (Graph.recover_link g) downs;
   Fun.protect
     ~finally:(fun () -> List.iter (Graph.fail_link g) downs)
     (fun () ->
@@ -107,3 +107,45 @@ let check ?fabric g tree ~source ~dests =
     | Some fabric -> check_cost_bound fabric g tree ~source ~dests
   in
   root_ds @ check_edges g tree @ check_shape tree @ span_ds @ cost_ds
+
+let check_splice ?fabric g ~prev ~tree ~source ~dests =
+  let ds = check ?fabric g tree ~source ~dests in
+  (* The surviving prefix of [prev]: bindings still connected to the
+     root over up links.  A replan may prune a survivor that no longer
+     feeds any destination, but if it keeps the member it must keep the
+     exact parent edge — delivered subtrees never get rewired. *)
+  let splice_ds = ref [] in
+  let rec walk v =
+    List.iter
+      (fun (child, lid) ->
+        if Graph.link_up g lid then begin
+          (if Tree.mem tree child then
+             match Tree.parent tree child with
+             | Some (p, l) when p = v && l = lid -> ()
+             | Some (p, l) ->
+                 splice_ds :=
+                   D.errorf ~code:"TREE006"
+                     ~loc:(Printf.sprintf "node %d" child)
+                     "surviving binding %d->(link %d) rewired to %d->(link %d)"
+                     v lid p l
+                   :: !splice_ds
+             | None ->
+                 splice_ds :=
+                   D.errorf ~code:"TREE006"
+                     ~loc:(Printf.sprintf "node %d" child)
+                     "surviving member kept but left parentless (was %d->link %d)"
+                     v lid
+                   :: !splice_ds);
+          walk child
+        end)
+      (Tree.children prev v)
+  in
+  if Tree.root prev = Tree.root tree then walk (Tree.root prev)
+  else
+    splice_ds :=
+      [
+        D.errorf ~code:"TREE006" ~loc:"root"
+          "replanned tree rooted at %d, previous tree at %d" (Tree.root tree)
+          (Tree.root prev);
+      ];
+  ds @ List.rev !splice_ds

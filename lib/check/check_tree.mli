@@ -9,7 +9,11 @@
       the root or reached twice over child edges
     - [TREE005] tree cost exceeds the Theorem 2.5 envelope
       [min(F, |D|) * OPT_sym], where [F] is the farthest hop layer and
-      [OPT_sym] the symmetric-Clos lower bound (Lemma 2.1) *)
+      [OPT_sym] the symmetric-Clos lower bound (Lemma 2.1)
+    - [TREE006] a replanned tree rewired a surviving binding: a member
+      of the previous tree still connected to the root over up links
+      was kept but given a different parent edge (or none) — the
+      re-peel contract is that delivered subtrees keep their state *)
 
 open Peel_topology
 
@@ -23,6 +27,20 @@ val check :
 (** Structural checks against the graph; when [fabric] is supplied the
     Theorem 2.5 cost bound is also checked (failures are temporarily
     restored to compute the symmetric lower bound, then re-applied). *)
+
+val check_splice :
+  ?fabric:Fabric.t ->
+  Graph.t ->
+  prev:Peel_steiner.Tree.t ->
+  tree:Peel_steiner.Tree.t ->
+  source:int ->
+  dests:int list ->
+  Diagnostic.t list
+(** Everything {!check} verifies on the post-failure graph, plus the
+    splice invariant ([TREE006]): every member of [prev]'s surviving
+    prefix (reachable from the root over up links) that [tree] keeps
+    must keep its exact parent edge.  Pruning a survivor that no longer
+    feeds a destination is allowed; rewiring one is not. *)
 
 val symmetric_lower_bound :
   Fabric.t -> source:int -> dests:int list -> int option

@@ -12,8 +12,8 @@ type outcome = {
 }
 
 let run_custom ?(chunks = 8) ?(cc = Broadcast.No_cc) ?(controller_seed = 1234)
-    ?(controller = true) ?loss ?(ecmp = true) ?(trace = Trace.null) fabric
-    ~launch collectives =
+    ?(controller = true) ?loss ?(ecmp = true) ?(trace = Trace.null) ?faults
+    ?on_fault fabric ~launch collectives =
   let engine = Engine.create ~trace () in
   let links = Link_state.create ~trace (Fabric.graph fabric) in
   let paths = Paths.create ~ecmp fabric in
@@ -23,6 +23,18 @@ let run_custom ?(chunks = 8) ?(cc = Broadcast.No_cc) ?(controller_seed = 1234)
       trace;
     }
   in
+  (* Install the fault schedule BEFORE launching any collective: the
+     engine breaks same-time ties FIFO, so a failure and a transfer
+     scheduled for the same instant apply the failure first — no chunk
+     ever reserves a link that went down "at the same time". *)
+  (match faults with
+  | None -> ()
+  | Some sched ->
+      Fault.install engine links sched
+        ~on_event:(fun ev ->
+          Paths.invalidate paths;
+          match on_fault with Some f -> f ev | None -> ())
+        ());
   let n = List.length collectives in
   let results = Array.make n nan in
   let done_count = ref 0 in

@@ -46,6 +46,8 @@ val run_custom :
   ?loss:Peel_sim.Transfer.loss ->
   ?ecmp:bool ->
   ?trace:Peel_sim.Trace.t ->
+  ?faults:Peel_sim.Fault.t ->
+  ?on_fault:(Peel_sim.Fault.event -> unit) ->
   Fabric.t ->
   launch:
     (Peel_sim.Engine.t ->
@@ -59,7 +61,15 @@ val run_custom :
   outcome
 (** Same engine/link sharing as {!run}, but with a caller-provided
     launcher — how the non-broadcast collectives (allgather, reduce,
-    allreduce) plug in. *)
+    allreduce) plug in.
+
+    [faults] installs a deterministic link fail/recover schedule before
+    any collective launches (same-instant ties resolve failure-first),
+    and each applied transition invalidates the path cache and then
+    fires [on_fault] — the controller's notification hook.  Launchers
+    that do not reroute around dead links (plain {!Broadcast.launch})
+    will stall forever on a permanent failure; use {!Failover.run} for
+    fault runs. *)
 
 val summarize : outcome -> Peel_util.Stats.summary
 (** Mean/p99 CCT summary of an outcome. *)

@@ -56,4 +56,6 @@ let run mode =
            Printf.sprintf "%.1f" r.retransmissions_per_collective;
          ])
        rows);
-  Common.note "multicast repairs are per-orphaned-receiver unicasts from the source"
+  Common.note
+    "random loss is repaired hop-locally on every scheme (selective repeat at \
+     the lossy edge); only down links trigger end-to-end repairs from the source"

@@ -1,0 +1,42 @@
+type action = Fail | Recover
+
+type event = { at : float; duplex : int; action : action }
+
+type t = event list
+
+let of_list evs =
+  List.iter
+    (fun ev ->
+      if Float.is_nan ev.at || ev.at < 0.0 || not (Float.is_finite ev.at) then
+        invalid_arg "Fault.of_list: event time must be finite and >= 0";
+      if ev.duplex < 0 then invalid_arg "Fault.of_list: negative link id")
+    evs;
+  List.stable_sort (fun a b -> compare a.at b.at) evs
+
+let events t = t
+
+let is_empty t = t = []
+
+let schedule_of_failures ~at ?recover_at ids =
+  (match recover_at with
+  | Some r when r <= at ->
+      invalid_arg "Fault.schedule_of_failures: recovery must follow the failure"
+  | _ -> ());
+  let fails = List.map (fun duplex -> { at; duplex; action = Fail }) ids in
+  let recovers =
+    match recover_at with
+    | None -> []
+    | Some at -> List.map (fun duplex -> { at; duplex; action = Recover }) ids
+  in
+  of_list (fails @ recovers)
+
+let install engine links t ?(on_event = fun _ -> ()) () =
+  List.iter
+    (fun ev ->
+      Engine.schedule engine ev.at (fun () ->
+          let changed =
+            Link_state.set_link_up links ~now:ev.at ~duplex:ev.duplex
+              ~up:(ev.action = Recover)
+          in
+          if changed then on_event ev))
+    t

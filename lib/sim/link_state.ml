@@ -4,6 +4,7 @@ type t = {
   graph : Graph.t;
   free : float array;
   busy : float array;
+  epochs : int array;
   trace : Trace.t;
 }
 
@@ -11,9 +12,40 @@ type reservation = { start : float; finish : float; queue_delay : float }
 
 let create ?(trace = Trace.null) graph =
   let n = Graph.num_links graph in
-  { graph; free = Array.make n 0.0; busy = Array.make n 0.0; trace }
+  {
+    graph;
+    free = Array.make n 0.0;
+    busy = Array.make n 0.0;
+    epochs = Array.make n 0;
+    trace;
+  }
 
 let trace t = t.trace
+
+let up t ~link = Graph.link_up t.graph link
+
+let epoch t ~link = t.epochs.(link)
+
+let set_link_up t ~now ~duplex ~up:want =
+  let cur = Graph.link_up t.graph duplex in
+  if cur = want then false
+  else begin
+    let even = duplex land lnot 1 in
+    if want then begin
+      Graph.recover_link t.graph duplex;
+      Trace.link_recover t.trace ~time:now ~link:even
+    end
+    else begin
+      Graph.fail_link t.graph duplex;
+      (* Bumping the epoch invalidates every chunk currently in flight
+         (or queued) on either direction: Transfer compares the epoch it
+         saw at reservation time against the one at arrival. *)
+      t.epochs.(duplex) <- t.epochs.(duplex) + 1;
+      t.epochs.(Graph.peer_link duplex) <- t.epochs.(Graph.peer_link duplex) + 1;
+      Trace.link_fail t.trace ~time:now ~link:even
+    end;
+    true
+  end
 
 let reserve t ~link ~now ~bytes =
   if bytes <= 0.0 then invalid_arg "Link_state.reserve: bytes must be positive";
@@ -41,4 +73,5 @@ let utilization t ~link ~horizon =
 
 let reset t =
   Array.fill t.free 0 (Array.length t.free) 0.0;
-  Array.fill t.busy 0 (Array.length t.busy) 0.0
+  Array.fill t.busy 0 (Array.length t.busy) 0.0;
+  Array.fill t.epochs 0 (Array.length t.epochs) 0

@@ -26,6 +26,21 @@ val create : ?trace:Trace.t -> Graph.t -> t
 val trace : t -> Trace.t
 (** The trace this link state reports into ({!Trace.null} if none). *)
 
+val up : t -> link:int -> bool
+(** Whether the directed link is currently up ([Graph.link_up]). *)
+
+val epoch : t -> link:int -> int
+(** Failure epoch of a directed link: incremented every time the link
+    goes down.  A chunk that reserved at epoch [e] and arrives when the
+    epoch differs was in flight across a failure and is lost. *)
+
+val set_link_up : t -> now:float -> duplex:int -> up:bool -> bool
+(** Apply a fault-schedule transition to both directions of the duplex
+    pair containing [duplex]: flips the graph's link state, bumps both
+    epochs on a down transition, and emits a [Link_fail]/[Link_recover]
+    trace event stamped [now].  Returns [false] (and does nothing) when
+    the pair is already in the requested state. *)
+
 val reserve : t -> link:int -> now:float -> bytes:float -> reservation
 (** Raises [Invalid_argument] if the link is down or [bytes <= 0]. *)
 

@@ -12,6 +12,9 @@ type kind =
   | Guard_hold of { flow : int }
   | Drop of { link : int }
   | Retransmit of { flow : int; node : int }
+  | Link_fail of { link : int }
+  | Link_recover of { link : int }
+  | Replan of { flow : int; cost : int }
 
 type event = { time : float; kind : kind }
 
@@ -26,6 +29,9 @@ type counters = {
   mutable guard_holds : int;
   mutable drops : int;
   mutable retransmits : int;
+  mutable link_fails : int;
+  mutable link_recovers : int;
+  mutable replans : int;
   mutable engine_events : int;
   mutable engine_max_pending : int;
 }
@@ -52,6 +58,9 @@ let zero_counters () =
     guard_holds = 0;
     drops = 0;
     retransmits = 0;
+    link_fails = 0;
+    link_recovers = 0;
+    replans = 0;
     engine_events = 0;
     engine_max_pending = 0;
   }
@@ -152,6 +161,24 @@ let retransmit t ~time ~flow ~node =
     if t.level = Full then push t { time; kind = Retransmit { flow; node } }
   end
 
+let link_fail t ~time ~link =
+  if t.level <> Off then begin
+    t.c.link_fails <- t.c.link_fails + 1;
+    if t.level = Full then push t { time; kind = Link_fail { link } }
+  end
+
+let link_recover t ~time ~link =
+  if t.level <> Off then begin
+    t.c.link_recovers <- t.c.link_recovers + 1;
+    if t.level = Full then push t { time; kind = Link_recover { link } }
+  end
+
+let replan t ~time ~flow ~cost =
+  if t.level <> Off then begin
+    t.c.replans <- t.c.replans + 1;
+    if t.level = Full then push t { time; kind = Replan { flow; cost } }
+  end
+
 let note_engine t ~events =
   if t.level <> Off && events > t.c.engine_events then
     t.c.engine_events <- events
@@ -205,6 +232,7 @@ type flow_stats = {
   f_rate_cuts : int;
   f_guard_holds : int;
   f_retransmits : int;
+  f_replans : int;
   f_first_delivery : float;
   f_last_delivery : float;
   f_mean_chunk_latency : float;
@@ -218,6 +246,7 @@ type flow_acc = {
   mutable rate_cuts : int;
   mutable guard_holds : int;
   mutable retransmits : int;
+  mutable replans : int;
   mutable first : float;
   mutable last : float;
   mutable lat_sum : float;
@@ -234,7 +263,7 @@ let flow_stats t =
         let a =
           {
             releases = 0; deliveries = 0; cnps = 0; rate_cuts = 0;
-            guard_holds = 0; retransmits = 0; first = infinity;
+            guard_holds = 0; retransmits = 0; replans = 0; first = infinity;
             last = neg_infinity; lat_sum = 0.0; lat_max = 0.0; lat_n = 0;
           }
         in
@@ -275,6 +304,9 @@ let flow_stats t =
     | Retransmit { flow; _ } when flow >= 0 ->
         let a = acc flow in
         a.retransmits <- a.retransmits + 1
+    | Replan { flow; _ } when flow >= 0 ->
+        let a = acc flow in
+        a.replans <- a.replans + 1
     | _ -> ()
   done;
   Hashtbl.fold (fun flow a l -> (flow, a) :: l) accs []
@@ -288,6 +320,7 @@ let flow_stats t =
            f_rate_cuts = a.rate_cuts;
            f_guard_holds = a.guard_holds;
            f_retransmits = a.retransmits;
+           f_replans = a.replans;
            f_first_delivery = (if a.deliveries = 0 then nan else a.first);
            f_last_delivery = (if a.deliveries = 0 then nan else a.last);
            f_mean_chunk_latency =
@@ -313,6 +346,9 @@ let counters_to_json t =
       ("guard_holds", Json.int c.guard_holds);
       ("drops", Json.int c.drops);
       ("retransmits", Json.int c.retransmits);
+      ("link_fails", Json.int c.link_fails);
+      ("link_recovers", Json.int c.link_recovers);
+      ("replans", Json.int c.replans);
       ("engine_events", Json.int c.engine_events);
       ("engine_max_pending", Json.int c.engine_max_pending);
       ("sampled_out", Json.int t.skipped);
@@ -328,6 +364,9 @@ let kind_name = function
   | Guard_hold _ -> "guard_hold"
   | Drop _ -> "drop"
   | Retransmit _ -> "retransmit"
+  | Link_fail _ -> "link_fail"
+  | Link_recover _ -> "link_recover"
+  | Replan _ -> "replan"
 
 let event_to_json ev =
   let base = [ ("t", Json.num ev.time); ("kind", Json.str (kind_name ev.kind)) ] in
@@ -350,6 +389,9 @@ let event_to_json ev =
     | Drop { link } -> [ ("link", Json.int link) ]
     | Retransmit { flow; node } ->
         [ ("flow", Json.int flow); ("node", Json.int node) ]
+    | Link_fail { link } -> [ ("link", Json.int link) ]
+    | Link_recover { link } -> [ ("link", Json.int link) ]
+    | Replan { flow; cost } -> [ ("flow", Json.int flow); ("cost", Json.int cost) ]
   in
   Json.Obj (base @ rest)
 
@@ -386,6 +428,9 @@ let events_csv t =
       | Drop { link } -> [ fi link; ""; ""; ""; ""; ""; ""; "" ]
       | Retransmit { flow; node } ->
           [ ""; fi node; fi flow; ""; ""; ""; ""; "" ]
+      | Link_fail { link } | Link_recover { link } ->
+          [ fi link; ""; ""; ""; ""; ""; ""; "" ]
+      | Replan { flow; _ } -> [ ""; ""; fi flow; ""; ""; ""; ""; "" ]
     in
     Buffer.add_string b (ff ev.time);
     Buffer.add_char b ',';

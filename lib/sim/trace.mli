@@ -50,6 +50,14 @@ type kind =
           chunk's reservation instant, keeping the log monotone) *)
   | Retransmit of { flow : int; node : int }
       (** a repair send (hop-local or end-to-end); [-1] = unattributed *)
+  | Link_fail of { link : int }
+      (** a scheduled fault took the duplex pair containing [link] down
+          ([link] is the even direction's id) *)
+  | Link_recover of { link : int }
+      (** the duplex pair came back up *)
+  | Replan of { flow : int; cost : int }
+      (** the controller spliced a re-peeled tree into [flow]; [cost]
+          is the new tree's link count *)
 
 type event = { time : float; kind : kind }
 
@@ -67,6 +75,9 @@ type counters = {
   mutable guard_holds : int;
   mutable drops : int;
   mutable retransmits : int;
+  mutable link_fails : int;
+  mutable link_recovers : int;
+  mutable replans : int;
   mutable engine_events : int;
   mutable engine_max_pending : int;
 }
@@ -122,6 +133,16 @@ val guard_hold : t -> time:float -> flow:int -> unit
 val drop : t -> time:float -> link:int -> unit
 val retransmit : t -> time:float -> flow:int -> node:int -> unit
 
+val link_fail : t -> time:float -> link:int -> unit
+(** A fault schedule took a duplex pair down; [link] should be the even
+    direction's id (see {!Peel_topology.Graph.duplex_ids}). *)
+
+val link_recover : t -> time:float -> link:int -> unit
+
+val replan : t -> time:float -> flow:int -> cost:int -> unit
+(** The controller swapped [flow]'s multicast tree for a re-peeled one
+    of [cost] links. *)
+
 val note_engine : t -> events:int -> unit
 (** Record the engine's processed-event count (monotone max). *)
 
@@ -151,6 +172,7 @@ type flow_stats = {
   f_rate_cuts : int;
   f_guard_holds : int;
   f_retransmits : int;
+  f_replans : int;
   f_first_delivery : float;      (** nan if none *)
   f_last_delivery : float;       (** nan if none *)
   f_mean_chunk_latency : float;  (** release-to-delivery; nan if unknown *)

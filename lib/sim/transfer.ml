@@ -26,40 +26,72 @@ let dropped = function
   | None -> false
   | Some l -> l.prob > 0.0 && Peel_util.Rng.float l.loss_rng 1.0 < l.prob
 
-let unicast engine links ~links:path ~bytes ~start ?on_reserve ?loss
+(* Retry cadence when a hop finds its link down and nobody is listening
+   for the loss: stall and probe until the pair recovers. *)
+let default_rto = 100e-6
+
+let retry_after = function Some l -> l.rto | None -> default_rto
+
+let unicast engine links ~links:path ~bytes ~start ?on_reserve ?loss ?on_lost
     ~on_delivered () =
+  let tr = Link_state.trace links in
   let rec hop remaining t =
     match remaining with
     | [] -> on_delivered t
     | lid :: rest ->
         Engine.schedule engine t (fun () ->
-            let r = Link_state.reserve links ~link:lid ~now:t ~bytes in
-            (match on_reserve with
-            | Some f -> f ~link:lid ~queue_delay:r.Link_state.queue_delay
-            | None -> ());
-            if dropped loss then begin
-              (* This hop's sender detects the gap and resends. *)
-              let l = Option.get loss in
-              l.retransmissions <- l.retransmissions + 1;
-              let tr = Link_state.trace links in
+            if not (Link_state.up links ~link:lid) then begin
+              (* The hop's link is down (a scheduled fault): the chunk is
+                 lost here.  With [on_lost] the caller repairs end to
+                 end; otherwise this hop stalls and retries until the
+                 pair recovers. *)
               Trace.drop tr ~time:t ~link:lid;
-              Engine.schedule engine
-                (r.Link_state.finish +. l.rto)
-                (fun () ->
-                  let now = Engine.now engine in
-                  Trace.retransmit tr ~time:now ~flow:(-1) ~node:(-1);
-                  hop remaining now)
+              match on_lost with
+              | Some f -> f ~time:t
+              | None ->
+                  Engine.schedule engine (t +. retry_after loss) (fun () ->
+                      hop remaining (Engine.now engine))
             end
             else begin
-              let arrive = Link_state.arrival links ~link:lid r in
-              Engine.schedule engine arrive (fun () -> hop rest arrive)
+              let epoch0 = Link_state.epoch links ~link:lid in
+              let r = Link_state.reserve links ~link:lid ~now:t ~bytes in
+              (match on_reserve with
+              | Some f -> f ~link:lid ~queue_delay:r.Link_state.queue_delay
+              | None -> ());
+              if dropped loss then begin
+                (* This hop's sender detects the gap and resends. *)
+                let l = Option.get loss in
+                l.retransmissions <- l.retransmissions + 1;
+                Trace.drop tr ~time:t ~link:lid;
+                Engine.schedule engine
+                  (r.Link_state.finish +. l.rto)
+                  (fun () ->
+                    let now = Engine.now engine in
+                    Trace.retransmit tr ~time:now ~flow:(-1) ~node:(-1);
+                    hop remaining now)
+              end
+              else begin
+                let arrive = Link_state.arrival links ~link:lid r in
+                Engine.schedule engine arrive (fun () ->
+                    if Link_state.epoch links ~link:lid <> epoch0 then begin
+                      (* The link failed while the chunk was in flight. *)
+                      Trace.drop tr ~time:arrive ~link:lid;
+                      match on_lost with
+                      | Some f -> f ~time:arrive
+                      | None ->
+                          Engine.schedule engine (arrive +. retry_after loss)
+                            (fun () -> hop remaining (Engine.now engine))
+                    end
+                    else hop rest arrive)
+              end
             end)
   in
   hop path start
 
 let multicast engine links ~tree ~bytes ~start ?on_reserve ?loss ?on_lost
     ~on_delivered () =
-  (* Every member below a dropped link misses the chunk. *)
+  let tr = Link_state.trace links in
+  (* Every member below a failed link misses the chunk. *)
   let rec orphan v t =
     List.iter
       (fun (child, _) ->
@@ -69,27 +101,54 @@ let multicast engine links ~tree ~bytes ~start ?on_reserve ?loss ?on_lost
         orphan child t)
       (Peel_steiner.Tree.children tree v)
   in
-  let rec descend v t =
-    List.iter
-      (fun (child, lid) ->
-        Engine.schedule engine t (fun () ->
-            let r = Link_state.reserve links ~link:lid ~now:t ~bytes in
-            (match on_reserve with
-            | Some f -> f ~link:lid ~queue_delay:r.Link_state.queue_delay
-            | None -> ());
-            if dropped loss then begin
-              Trace.drop (Link_state.trace links) ~time:t ~link:lid;
-              (match on_lost with
-              | Some f -> f ~node:child ~time:r.Link_state.finish
-              | None -> ());
-              orphan child r.Link_state.finish
-            end
-            else begin
-              let arrive = Link_state.arrival links ~link:lid r in
-              Engine.schedule engine arrive (fun () ->
+  let lose child t =
+    (match on_lost with Some f -> f ~node:child ~time:t | None -> ());
+    orphan child t
+  in
+  let rec send_edge child lid t =
+    Engine.schedule engine t (fun () ->
+        if not (Link_state.up links ~link:lid) then begin
+          Trace.drop tr ~time:t ~link:lid;
+          lose child t
+        end
+        else begin
+          let epoch0 = Link_state.epoch links ~link:lid in
+          let r = Link_state.reserve links ~link:lid ~now:t ~bytes in
+          (match on_reserve with
+          | Some f -> f ~link:lid ~queue_delay:r.Link_state.queue_delay
+          | None -> ());
+          if dropped loss then begin
+            (* Hop-local selective repeat, exactly as unicast does: the
+               edge's sender detects the gap and resends after the RTO,
+               so a lossy hop delays only its own subtree and the repair
+               is accounted in [loss.retransmissions]. *)
+            let l = Option.get loss in
+            l.retransmissions <- l.retransmissions + 1;
+            Trace.drop tr ~time:t ~link:lid;
+            Engine.schedule engine
+              (r.Link_state.finish +. l.rto)
+              (fun () ->
+                let now = Engine.now engine in
+                Trace.retransmit tr ~time:now ~flow:(-1) ~node:(-1);
+                send_edge child lid now)
+          end
+          else begin
+            let arrive = Link_state.arrival links ~link:lid r in
+            Engine.schedule engine arrive (fun () ->
+                if Link_state.epoch links ~link:lid <> epoch0 then begin
+                  Trace.drop tr ~time:arrive ~link:lid;
+                  lose child arrive
+                end
+                else begin
                   on_delivered ~node:child ~time:arrive;
-                  descend child arrive)
-            end))
+                  descend child arrive
+                end)
+          end
+        end)
+  and descend v t =
+    List.iter
+      (fun (child, lid) -> send_edge child lid t)
       (Peel_steiner.Tree.children tree v)
   in
-  Engine.schedule engine start (fun () -> descend (Peel_steiner.Tree.root tree) start)
+  Engine.schedule engine start (fun () ->
+      descend (Peel_steiner.Tree.root tree) start)

@@ -40,13 +40,22 @@ val unicast :
   start:float ->
   ?on_reserve:(link:int -> queue_delay:float -> unit) ->
   ?loss:loss ->
+  ?on_lost:(time:float -> unit) ->
   on_delivered:(float -> unit) ->
   unit ->
   unit
 (** Send one chunk along consecutive links; [on_delivered] fires with
     the arrival time at the final node.  An empty path delivers at
     [start].  With [loss], a dropped hop is retransmitted by that hop's
-    sender after [rto] (per-hop selective repeat, as RDMA QPs do). *)
+    sender after [rto] (per-hop selective repeat, as RDMA QPs do).
+
+    A hop whose link is down — or whose link fails while the chunk is
+    in flight ({!Link_state.epoch} changed between reservation and
+    arrival) — loses the chunk: a [Drop] is traced and [on_lost] fires
+    (once), handing recovery to the caller.  Without [on_lost] the hop
+    stalls and retries every RTO until the pair recovers — so a path
+    crossing a permanently dead link never delivers; callers injecting
+    faults should pass [on_lost] and reroute. *)
 
 val multicast :
   Engine.t ->
@@ -62,9 +71,15 @@ val multicast :
   unit
 (** Replicate one chunk from the tree root downward (store-and-forward
     at every member).  [on_delivered] fires for every non-root member;
-    callers filter for actual destinations.  With [loss], a dropped
-    tree link orphans its whole subtree: [on_lost] fires for every
-    subtree member (at the drop time) and no retransmission happens
-    here — multicast recovery is end-to-end, the caller unicasts the
-    chunk to the receivers that NACK (paper §1: RDMA selective
-    retransmissions). *)
+    callers filter for actual destinations.
+
+    With [loss], a dropped tree edge is repaired hop-locally just like
+    unicast: the edge's sender resends after [rto] and the repair is
+    counted in [loss.retransmissions] — a lossy hop delays only its own
+    subtree.
+
+    A *failed* link (down at send time, or failing mid-flight per
+    {!Link_state.epoch}) cannot be repaired locally: the chunk is lost
+    and [on_lost] fires for every subtree member at the drop time —
+    recovery is end-to-end, the caller unicasts the chunk to the
+    receivers that NACK (paper §1: RDMA selective retransmissions). *)

@@ -23,7 +23,7 @@ let rank ?salt u =
       let h = Hashtbl.hash (u, s) in
       (h * 65599) lxor (h lsr 7)
 
-let build ?salt g ~source ~dests =
+let build_seeded ?salt g ~source ~dests ~seeds =
   let dests = List.sort_uniq compare (List.filter (fun d -> d <> source) dests) in
   match reach_info g ~source ~dests with
   | None -> None
@@ -39,6 +39,15 @@ let build ?salt g ~source ~dests =
       let parent_of = Array.make n None in
       in_tree.(source) <- true;
       List.iter (fun d -> in_tree.(d) <- true) dests;
+      (* Pre-seed surviving bindings (re-peeling): the greedy below never
+         overwrites an existing parent, so seeded subtrees keep their
+         exact shape and peeling only extends around them. *)
+      List.iter
+        (fun (v, (p, lid)) ->
+          in_tree.(v) <- true;
+          in_tree.(p) <- true;
+          parent_of.(v) <- Some (p, lid))
+        seeds;
       (* Candidate parents of [v] on the previous layer: in-neighbors at
          distance [dist v - 1] over up links. *)
       let prev_layer_neighbors v =
@@ -115,6 +124,24 @@ let build ?salt g ~source ~dests =
                   !uncovered
         done
       done;
+      (* With seeds, survivors that no longer feed any destination are
+         dead weight — prune to the union of dest-to-root chains.
+         (Plain builds only ever add covering switches, so every member
+         already feeds a destination.) *)
+      if seeds <> [] then begin
+        let needed = Array.make n false in
+        needed.(source) <- true;
+        let rec mark v =
+          if not needed.(v) then begin
+            needed.(v) <- true;
+            match parent_of.(v) with Some (p, _) -> mark p | None -> ()
+          end
+        in
+        List.iter mark dests;
+        for v = 0 to n - 1 do
+          if not needed.(v) then parent_of.(v) <- None
+        done
+      end;
       let parents = ref [] in
       for v = 0 to n - 1 do
         match parent_of.(v) with
@@ -122,3 +149,24 @@ let build ?salt g ~source ~dests =
         | None -> ()
       done;
       Some (Tree.of_parents g ~root:source ~parents:!parents)
+
+let build ?salt g ~source ~dests = build_seeded ?salt g ~source ~dests ~seeds:[]
+
+let repeel ?salt g ~prev ~source ~dests =
+  if Tree.root prev <> source then
+    invalid_arg "Layer_peel.repeel: previous tree not rooted at the source";
+  (* The surviving prefix: bindings reachable from the root over edges
+     that are still up.  A member below a failed edge is cut loose even
+     if its own parent edge survived — its chain to the root is gone. *)
+  let seeds = ref [] in
+  let rec walk v =
+    List.iter
+      (fun (child, lid) ->
+        if Graph.link_up g lid then begin
+          seeds := (child, (v, lid)) :: !seeds;
+          walk child
+        end)
+      (Tree.children prev v)
+  in
+  walk source;
+  build_seeded ?salt g ~source ~dests ~seeds:!seeds

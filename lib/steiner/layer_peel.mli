@@ -21,6 +21,18 @@ val build : ?salt:int -> Graph.t -> source:int -> dests:int list -> Tree.t optio
     fabrics, the edge diversity multi-tree striping needs (§2.3's
     multicast-vs-multipath question). *)
 
+val repeel :
+  ?salt:int -> Graph.t -> prev:Tree.t -> source:int -> dests:int list ->
+  Tree.t option
+(** Re-run the greedy on the current (post-failure) graph, seeded with
+    the surviving prefix of [prev]: every binding still connected to the
+    root over up links keeps its exact parent edge (delivered subtrees
+    keep their state, mirroring §3's static prefix rules staying valid),
+    and peeling only attaches the receivers the failure cut off.
+    Survivors that no longer feed any destination are pruned.  [None]
+    when some destination is now unreachable.  Raises
+    [Invalid_argument] if [prev] is not rooted at [source]. *)
+
 val farthest_layer : Graph.t -> source:int -> dests:int list -> int option
 (** F = the largest hop distance from the source to any destination
     ([None] if unreachable) — the quantity bounding the approximation

@@ -128,7 +128,7 @@ let fail_random t ~rng ~tier ~fraction ?(ensure_connected = true) () =
     List.iter (Graph.fail_link g) picks;
     if (not ensure_connected) || Graph.connected g host_list then Some picks
     else begin
-      List.iter (Graph.restore_link g) picks;
+      List.iter (Graph.recover_link g) picks;
       None
     end
   in
@@ -139,6 +139,8 @@ let fail_random t ~rng ~tier ~fraction ?(ensure_connected = true) () =
       match attempt () with Some picks -> picks | None -> retry (attempts - 1)
   in
   retry 100
+
+let recover_link t id = Graph.recover_link (graph t) id
 
 let describe t =
   match t with

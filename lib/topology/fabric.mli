@@ -90,5 +90,10 @@ val fail_random :
     mutually reachable; raises [Failure] if that proves impossible.
     Previously injected failures are untouched. *)
 
+val recover_link : t -> int -> unit
+(** Bring a duplex pair (given either direction's id) back up —
+    [Graph.recover_link] on the fabric's graph, the undo of a
+    [fail_random] pick. *)
+
 val describe : t -> string
 (** One-line human description, e.g. "fat-tree k=8 (128 hosts, 1024 gpus)". *)

@@ -107,7 +107,7 @@ let fail_link t i =
   t.links.(i).up <- false;
   t.links.(peer_link i).up <- false
 
-let restore_link t i =
+let recover_link t i =
   t.links.(i).up <- true;
   t.links.(peer_link i).up <- true
 

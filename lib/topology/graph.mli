@@ -84,7 +84,11 @@ val nodes_of_kind : t -> kind -> int array
 val fail_link : t -> int -> unit
 (** Marks both directions of the duplex pair containing this id down. *)
 
-val restore_link : t -> int -> unit
+val recover_link : t -> int -> unit
+(** Marks both directions of the duplex pair up again — the exact
+    inverse of [fail_link]: adjacency is untouched by either, so a
+    fail/recover round trip restores the graph bit-for-bit. *)
+
 val restore_all : t -> unit
 
 val duplex_ids : t -> int array

@@ -2,10 +2,13 @@
 # Run the static invariant lint battery: the @check-lint alias drives
 # `peel_cli check` over representative fabrics (healthy, failed,
 # budgeted), the @trace-smoke alias lints a traced simulation's export
-# (SIM005/SIM006), and the unit suite exercises every diagnostic code.
+# (SIM005/SIM006), the @failover-smoke alias lints mid-run failure
+# injection with re-peeling (SIM007/TREE006), and the unit suite
+# exercises every diagnostic code.
 # Exits non-zero on the first violated invariant.
 set -eu
 cd "$(dirname "$0")/.."
 dune build @check-lint
 dune build @trace-smoke
+dune build @failover-smoke
 dune exec test/test_check.exe -- -c

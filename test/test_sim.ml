@@ -301,8 +301,8 @@ let test_unicast_recovers_from_loss () =
   Alcotest.(check int) "all delivered" 50 !count;
   Alcotest.(check bool) "some retransmissions" true (loss.Transfer.retransmissions > 0)
 
-let test_multicast_loss_orphans_subtree () =
-  (* Chain r -> s -> a: a drop on r->s must orphan both s and a. *)
+let chain_tree () =
+  (* Chain r -> s -> a. *)
   let b = Graph.Builder.create () in
   let r = Graph.Builder.add_node b Graph.Host ~pod:0 ~idx:0 in
   let s = Graph.Builder.add_node b Graph.Tor ~pod:0 ~idx:0 in
@@ -314,18 +314,64 @@ let test_multicast_loss_orphans_subtree () =
     Peel_steiner.Tree.of_parents g ~root:r
       ~parents:[ (s, (r, l_rs)); (a, (s, l_sa)) ]
   in
+  (g, tree, r, s, a, l_rs, l_sa)
+
+let test_multicast_down_link_orphans_subtree () =
+  (* A *failed* r->s link cannot be repaired hop-locally: both s and a
+     are orphaned (end-to-end recovery is the caller's job). *)
+  let g, tree, _, s, a, l_rs, _ = chain_tree () in
   let e = Engine.create () in
   let ls = Link_state.create g in
-  (* prob ~1: the very first link crossing drops. *)
-  let loss = Transfer.loss_model ~seed:1 ~prob:0.99 () in
+  Graph.fail_link g l_rs;
   let lost = ref [] and delivered = ref [] in
-  Transfer.multicast e ls ~tree ~bytes:1e6 ~start:0.0 ~loss
+  Transfer.multicast e ls ~tree ~bytes:1e6 ~start:0.0
     ~on_lost:(fun ~node ~time:_ -> lost := node :: !lost)
     ~on_delivered:(fun ~node ~time:_ -> delivered := node :: !delivered)
     ();
   Engine.run e;
+  Graph.restore_all g;
   Alcotest.(check (list int)) "both orphaned" [ s; a ] (List.sort compare !lost);
   Alcotest.(check (list int)) "none delivered" [] !delivered
+
+let test_multicast_loss_repaired_hop_locally () =
+  (* Random loss is repaired by the edge's sender like unicast: every
+     member still gets the chunk, repairs show in [retransmissions]. *)
+  let g, tree, _, _, _, _, _ = chain_tree () in
+  let e = Engine.create () in
+  let ls = Link_state.create g in
+  let loss = Transfer.loss_model ~seed:5 ~prob:0.3 ~rto:10e-6 () in
+  let lost = ref 0 and delivered = ref 0 in
+  for _ = 1 to 25 do
+    Transfer.multicast e ls ~tree ~bytes:1e4 ~start:0.0 ~loss
+      ~on_lost:(fun ~node:_ ~time:_ -> incr lost)
+      ~on_delivered:(fun ~node:_ ~time:_ -> incr delivered)
+      ()
+  done;
+  Engine.run e;
+  Alcotest.(check int) "every member delivered" (25 * 2) !delivered;
+  Alcotest.(check int) "no orphans" 0 !lost;
+  Alcotest.(check bool) "repairs accounted" true
+    (loss.Transfer.retransmissions > 0)
+
+let test_midflight_failure_drops_chunk () =
+  (* The link fails while the chunk is in flight (between reservation
+     and arrival): the epoch check catches it and the chunk is lost. *)
+  let g, _, _, _, _, l_rs, _ = chain_tree () in
+  let e = Engine.create () in
+  let ls = Link_state.create g in
+  let lost_at = ref nan and delivered = ref false in
+  (* 1 MB at 1 GB/s serializes for 1 ms; kill the pair at 0.5 ms. *)
+  Engine.schedule e 0.5e-3 (fun () ->
+      Alcotest.(check bool) "transition applied" true
+        (Link_state.set_link_up ls ~now:0.5e-3 ~duplex:l_rs ~up:false));
+  Transfer.unicast e ls ~links:[ l_rs ] ~bytes:1e6 ~start:0.0
+    ~on_lost:(fun ~time -> lost_at := time)
+    ~on_delivered:(fun _ -> delivered := true)
+    ();
+  Engine.run e;
+  Graph.restore_all g;
+  Alcotest.(check bool) "not delivered" false !delivered;
+  check_float "lost at the would-be arrival" (1e-3 +. 1e-6) !lost_at
 
 (* ------------------------------------------------------------------ *)
 (* DCQCN                                                               *)
@@ -407,8 +453,12 @@ let () =
           Alcotest.test_case "model validation" `Quick test_loss_model_validation;
           Alcotest.test_case "prob zero is lossless" `Quick test_unicast_lossless_prob_zero;
           Alcotest.test_case "unicast recovers" `Quick test_unicast_recovers_from_loss;
-          Alcotest.test_case "multicast orphans subtree" `Quick
-            test_multicast_loss_orphans_subtree;
+          Alcotest.test_case "down link orphans subtree" `Quick
+            test_multicast_down_link_orphans_subtree;
+          Alcotest.test_case "multicast loss repaired hop-locally" `Quick
+            test_multicast_loss_repaired_hop_locally;
+          Alcotest.test_case "mid-flight failure drops chunk" `Quick
+            test_midflight_failure_drops_chunk;
         ] );
       ( "dcqcn",
         [

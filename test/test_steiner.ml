@@ -411,6 +411,154 @@ let prop_peel_symmetric_optimal =
         Tree.cost greedy = Tree.cost opt
       end)
 
+(* Property (Theorem 2.5, differential form): on small random fabrics —
+   a k=4 fat-tree or a tiny leaf-spine — with random failure draws, the
+   greedy cost stays within min(F, |D|) of the Dreyfus-Wagner exact
+   optimum computed on the same failed graph.  This tightens the
+   |D| * F envelope above: cost <= |D|*F = min*max <= min(F,|D|)*OPT
+   since OPT >= F (farthest terminal) and OPT >= |D| (distinct parent
+   edges). *)
+let prop_peel_differential_min_bound =
+  QCheck.Test.make ~name:"layer-peel <= min(F,|D|) x exact optimum" ~count:40
+    QCheck.(pair bool (int_range 0 100000))
+    (fun (fat, seed) ->
+      let rng = Rng.create seed in
+      let f =
+        if fat then Fabric.fat_tree ~k:4 ()
+        else Fabric.leaf_spine ~spines:2 ~leaves:4 ~hosts_per_leaf:2 ()
+      in
+      let g = Fabric.graph f in
+      let _ = Fabric.fail_random f ~rng ~tier:`All ~fraction:0.2 () in
+      let eps = Fabric.endpoints f in
+      let n = Array.length eps in
+      let source = eps.(Rng.int rng n) in
+      let dests =
+        Rng.sample_without_replacement rng n 4
+        |> List.map (fun i -> eps.(i))
+        |> List.filter (fun d -> d <> source)
+      in
+      let ok =
+        if dests = [] then true
+        else
+          match Layer_peel.build g ~source ~dests with
+          | None -> false (* fail_random keeps endpoints connected *)
+          | Some t -> (
+              match Tree.validate g t ~dests with
+              | Error _ -> false
+              | Ok () ->
+                  let far =
+                    Option.get (Layer_peel.farthest_layer g ~source ~dests)
+                  in
+                  let exact =
+                    Option.get
+                      (Exact.steiner_cost g ~terminals:(source :: dests))
+                  in
+                  Tree.cost t >= exact
+                  && Tree.cost t <= min far (List.length dests) * exact)
+      in
+      Graph.restore_all g;
+      ok)
+
+(* Property: on unfailed fat-trees the greedy also matches the
+   symmetric optimum (the property above this family covers only
+   leaf-spines). *)
+let prop_peel_symmetric_optimal_fat_tree =
+  QCheck.Test.make ~name:"layer-peel matches optimum in symmetric fat-trees"
+    ~count:30
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let f = Fabric.fat_tree ~k:4 ~gpus_per_host:2 () in
+      let eps = Fabric.endpoints f in
+      let n = Array.length eps in
+      let source = eps.(Rng.int rng n) in
+      let dests =
+        Rng.sample_without_replacement rng n 5
+        |> List.map (fun i -> eps.(i))
+        |> List.filter (fun d -> d <> source)
+      in
+      if dests = [] then true
+      else
+        let greedy =
+          expect_tree (Layer_peel.build (Fabric.graph f) ~source ~dests)
+        in
+        Tree.cost greedy = Tree.cost (Symmetric.build f ~source ~dests))
+
+(* Property: after failing a tree edge (plus a small random extra draw)
+   [repeel] returns a valid tree on the surviving fabric that keeps
+   every surviving binding of the previous one — the TREE006 splice
+   contract, checked with the static checker itself. *)
+let prop_repeel_valid_and_splice =
+  QCheck.Test.make ~name:"repeel: valid + splice-preserving after failures"
+    ~count:40
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let f = Fabric.leaf_spine ~spines:3 ~leaves:4 ~hosts_per_leaf:2 () in
+      let g = Fabric.graph f in
+      let hosts = Fabric.hosts f in
+      let n = Array.length hosts in
+      let source = hosts.(Rng.int rng n) in
+      let dests =
+        Rng.sample_without_replacement rng n 5
+        |> List.map (fun i -> hosts.(i))
+        |> List.filter (fun d -> d <> source)
+      in
+      if dests = [] then true
+      else begin
+        let prev = expect_tree (Layer_peel.build g ~source ~dests) in
+        let edges = Tree.link_ids prev in
+        let victim = List.nth edges (Rng.int rng (List.length edges)) in
+        Graph.fail_link g victim;
+        (* No connectivity guarantee here — the victim may already cut a
+           host off; the [None] arm below covers that outcome. *)
+        let _ =
+          Fabric.fail_random f ~rng ~tier:`All ~fraction:0.05
+            ~ensure_connected:false ()
+        in
+        let ok =
+          match Layer_peel.repeel g ~prev ~source ~dests with
+          | None ->
+              (* Only acceptable when the cut disconnected a dest. *)
+              not (Graph.connected g (source :: dests))
+          | Some t ->
+              Tree.validate g t ~dests = Ok ()
+              && Peel_check.Diagnostic.errors
+                   (Peel_check.Check_tree.check_splice g ~prev ~tree:t
+                      ~source ~dests)
+                 = []
+        in
+        Graph.restore_all g;
+        ok
+      end)
+
+(* Property: re-peeling without any failure is the identity — same
+   links, same cost, nothing rewired. *)
+let prop_repeel_identity_without_failures =
+  QCheck.Test.make ~name:"repeel: identity on unfailed fabrics" ~count:40
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let f = Fabric.fat_tree ~k:4 () in
+      let g = Fabric.graph f in
+      let hosts = Fabric.hosts f in
+      let n = Array.length hosts in
+      let source = hosts.(Rng.int rng n) in
+      let dests =
+        Rng.sample_without_replacement rng n 4
+        |> List.map (fun i -> hosts.(i))
+        |> List.filter (fun d -> d <> source)
+      in
+      if dests = [] then true
+      else
+        let prev = expect_tree (Layer_peel.build g ~source ~dests) in
+        match Layer_peel.repeel g ~prev ~source ~dests with
+        | None -> false
+        | Some t ->
+            Tree.cost t = Tree.cost prev
+            && List.sort compare (Tree.link_ids t)
+               = List.sort compare (Tree.link_ids prev))
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "peel_steiner"
@@ -456,5 +604,9 @@ let () =
           qt prop_peel_asymmetric;
           qt prop_peel_fat_tree_failures;
           qt prop_peel_symmetric_optimal;
+          qt prop_peel_differential_min_bound;
+          qt prop_peel_symmetric_optimal_fat_tree;
+          qt prop_repeel_valid_and_splice;
+          qt prop_repeel_identity_without_failures;
         ] );
     ]

@@ -345,6 +345,67 @@ let test_fail_random_deterministic () =
   in
   Alcotest.(check (list int)) "same seed, same failures" (run 5) (run 5)
 
+let test_fail_recover_round_trip () =
+  (* fail_link + recover_link must restore the graph bit-for-bit:
+     same up flags, same adjacency. *)
+  let ls = Fabric.leaf_spine ~spines:3 ~leaves:4 ~hosts_per_leaf:2 () in
+  let g = Fabric.graph ls in
+  let snapshot () =
+    ( Array.map (fun (l : Graph.link) -> l.Graph.up) (Graph.links g),
+      Array.init (Graph.num_nodes g) (fun v ->
+          Array.to_list (Graph.out_links g v)) )
+  in
+  let before = snapshot () in
+  let victim = (Array.to_list (Fabric.failure_domain ls `All)) |> List.hd in
+  Graph.fail_link g victim;
+  Alcotest.(check bool) "down" false (Graph.link_up g victim);
+  Alcotest.(check bool) "peer down" false
+    (Graph.link_up g (Graph.peer_link victim));
+  Graph.recover_link g victim;
+  let after = snapshot () in
+  Alcotest.(check bool) "up flags restored" true (fst before = fst after);
+  Alcotest.(check bool) "adjacency untouched" true (snd before = snd after)
+
+(* Returned duplex ids are actually down (both directions), and their
+   endpoints stay mutually reachable over the surviving links.  The
+   fraction is kept below [1/leaves] of the links so no spine can lose
+   its whole uplink set; the connectivity guarantee covers the rest. *)
+let prop_fail_random_down_and_endpoints_reachable =
+  QCheck.Test.make ~name:"fail_random: ids down, endpoints still reachable"
+    ~count:30
+    QCheck.(pair (int_range 0 10000) (int_range 1 15))
+    (fun (seed, pct) ->
+      let ls = Fabric.leaf_spine ~spines:4 ~leaves:8 ~hosts_per_leaf:1 () in
+      let g = Fabric.graph ls in
+      let failed =
+        Fabric.fail_random ls ~rng:(Rng.create seed) ~tier:`All
+          ~fraction:(float_of_int pct /. 100.0)
+          ()
+      in
+      List.for_all
+        (fun id ->
+          let l = Graph.link g id in
+          (not (Graph.link_up g id))
+          && (not (Graph.link_up g (Graph.peer_link id)))
+          && Graph.connected g [ l.Graph.src; l.Graph.dst ])
+        failed)
+
+(* Repeated draws never resurrect previously failed links: earlier
+   victims stay down (a failed retry must only restore its own picks),
+   and later draws never re-pick a down link. *)
+let prop_fail_random_never_resurrects =
+  QCheck.Test.make ~name:"fail_random never resurrects earlier failures"
+    ~count:30
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let ls = Fabric.leaf_spine ~spines:4 ~leaves:8 ~hosts_per_leaf:1 () in
+      let g = Fabric.graph ls in
+      let rng = Rng.create seed in
+      let first = Fabric.fail_random ls ~rng ~tier:`All ~fraction:0.08 () in
+      let second = Fabric.fail_random ls ~rng ~tier:`All ~fraction:0.08 () in
+      List.for_all (fun id -> not (Graph.link_up g id)) first
+      && List.for_all (fun id -> not (List.mem id first)) second)
+
 let prop_fail_random_keeps_hosts_connected =
   QCheck.Test.make ~name:"fail_random preserves host connectivity" ~count:25
     QCheck.(pair (int_range 0 10000) (int_range 1 10))
@@ -407,6 +468,10 @@ let () =
           Alcotest.test_case "fail_random count" `Quick test_fail_random_count;
           Alcotest.test_case "fail_random zero" `Quick test_fail_random_zero;
           Alcotest.test_case "fail_random deterministic" `Quick test_fail_random_deterministic;
+          Alcotest.test_case "fail/recover round trip" `Quick
+            test_fail_recover_round_trip;
           qt prop_fail_random_keeps_hosts_connected;
+          qt prop_fail_random_down_and_endpoints_reachable;
+          qt prop_fail_random_never_resurrects;
         ] );
     ]

@@ -226,14 +226,125 @@ let test_flow_stats_latency () =
       Alcotest.(check (float 0.0)) "last delivery" 2.0 f.Trace.f_last_delivery
   | _ -> Alcotest.fail "expected exactly one flow"
 
-(* ------------------------------------------------------------------ *)
-(* Export round-trips                                                  *)
-(* ------------------------------------------------------------------ *)
-
 let parse_ok s =
   match Json.parse s with
   | Ok v -> v
   | Error e -> Alcotest.fail ("JSON parse failed: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Loss accounting: counters vs the Full event log                     *)
+(* ------------------------------------------------------------------ *)
+
+let count_kind trace p =
+  Array.fold_left
+    (fun acc (e : Trace.event) -> if p e.Trace.kind then acc + 1 else acc)
+    0 (Trace.events trace)
+
+let test_loss_counters_agree_with_events () =
+  (* The drop/retransmit counters must equal the number of Drop and
+     Retransmit events in the Full log, and every repair send — whether
+     a hop-local selective repeat inside Transfer or an end-to-end NACK
+     repair in Broadcast — must be accounted in [loss.retransmissions]. *)
+  let fabric = fat4 () in
+  let trace = Trace.create ~level:Trace.Full () in
+  let cs = workload fabric ~seed:11 ~n:2 in
+  let loss = Peel_sim.Transfer.loss_model ~seed:3 ~prob:0.05 () in
+  let _ = Runner.run ~chunks ~trace ~loss fabric Scheme.Peel cs in
+  let c = Trace.counters trace in
+  Alcotest.(check bool) "drops happened" true (c.Trace.drops > 0);
+  Alcotest.(check int) "drop events = drops counter" c.Trace.drops
+    (count_kind trace (function Trace.Drop _ -> true | _ -> false));
+  Alcotest.(check int) "retransmit events = retransmits counter"
+    c.Trace.retransmits
+    (count_kind trace (function Trace.Retransmit _ -> true | _ -> false));
+  Alcotest.(check int) "loss model counts every repair send"
+    c.Trace.retransmits loss.Peel_sim.Transfer.retransmissions
+
+(* ------------------------------------------------------------------ *)
+(* Failure events: fail / recover / replan                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_failover_event_kinds_roundtrip () =
+  (* Fail (then recover) a link the PEEL tree actually uses mid-run:
+     the trace must carry Link_fail, Link_recover and Replan events
+     whose counts match the counters and whose JSON payloads survive a
+     parse round-trip. *)
+  let fabric = fat4 () in
+  let g = Fabric.graph fabric in
+  let eps = Fabric.endpoints fabric in
+  let members = Array.to_list (Array.sub eps 0 8) in
+  let source = List.hd members in
+  let dests = List.tl members in
+  let spec =
+    { Spec.id = 0; arrival = 0.0; source; dests; members; bytes = 1e6 }
+  in
+  let clean =
+    List.hd (Failover.run fabric Failover.Peel [ spec ]).Runner.ccts
+  in
+  let tree =
+    Option.get (Peel_steiner.Layer_peel.build g ~source ~dests)
+  in
+  (* Pick a tree link whose loss keeps the group connected, so the
+     controller can re-peel rather than stall on a partition. *)
+  let victim =
+    List.find
+      (fun l ->
+        Graph.fail_link g l;
+        let ok = Graph.connected g (source :: dests) in
+        Graph.restore_all g;
+        ok)
+      (Peel_steiner.Tree.link_ids tree)
+  in
+  let faults =
+    Peel_sim.Fault.schedule_of_failures ~at:(0.3 *. clean)
+      ~recover_at:(0.8 *. clean) [ victim ]
+  in
+  let trace = Trace.create ~level:Trace.Full () in
+  let out = Failover.run ~trace ~faults fabric Failover.Peel [ spec ] in
+  let c = Trace.counters trace in
+  Alcotest.(check int) "one fail traced" 1 c.Trace.link_fails;
+  Alcotest.(check int) "one recovery traced" 1 c.Trace.link_recovers;
+  Alcotest.(check bool) "controller replanned" true (c.Trace.replans >= 1);
+  Alcotest.(check int) "fail events = counter" c.Trace.link_fails
+    (count_kind trace (function Trace.Link_fail _ -> true | _ -> false));
+  Alcotest.(check int) "recover events = counter" c.Trace.link_recovers
+    (count_kind trace (function Trace.Link_recover _ -> true | _ -> false));
+  Alcotest.(check int) "replan events = counter" c.Trace.replans
+    (count_kind trace (function Trace.Replan _ -> true | _ -> false));
+  Alcotest.(check bool) "failed run is no faster" true
+    (List.hd out.Runner.ccts >= clean);
+  (* JSON payloads: the failure kinds carry their link / flow / cost. *)
+  let v = parse_ok (Json.to_string (Trace.events_to_json trace)) in
+  let evs = Option.get (Json.get_arr v) in
+  let of_kind k =
+    List.filter
+      (fun ev -> Option.bind (Json.member "kind" ev) Json.get_str = Some k)
+      evs
+  in
+  let num_field ev k = Option.bind (Json.member k ev) Json.get_num in
+  List.iter
+    (fun ev ->
+      Alcotest.(check (option (float 0.0)))
+        "fail/recover carries the duplex id"
+        (Some (float_of_int (victim land lnot 1)))
+        (num_field ev "link"))
+    (of_kind "link_fail" @ of_kind "link_recover");
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool) "replan carries flow and cost" true
+        (num_field ev "flow" = Some 0.0 && num_field ev "cost" <> None))
+    (of_kind "replan");
+  (* The lint must accept the log, SIM007 included. *)
+  Alcotest.(check (list string))
+    "check_trace clean" []
+    (List.map Peel_check.Diagnostic.to_string
+       (Peel_check.Check_sim.check_trace
+          ~expected_deliveries:(chunks * List.length dests)
+          trace))
+
+(* ------------------------------------------------------------------ *)
+(* Export round-trips                                                  *)
+(* ------------------------------------------------------------------ *)
 
 let test_counters_json_roundtrip () =
   let trace, _, expected = traced_run () in
@@ -312,6 +423,10 @@ let () =
         ] );
       ( "export",
         [
+          Alcotest.test_case "loss counters vs events" `Quick
+            test_loss_counters_agree_with_events;
+          Alcotest.test_case "failover event kinds" `Quick
+            test_failover_event_kinds_roundtrip;
           Alcotest.test_case "counters json" `Quick test_counters_json_roundtrip;
           Alcotest.test_case "events json" `Quick test_events_json_roundtrip;
           Alcotest.test_case "events csv" `Quick test_events_csv;
