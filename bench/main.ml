@@ -33,6 +33,7 @@ let experiments : (string * string * (Common.mode -> unit)) list =
     ("tenancy", "E14 (ext): concurrent jobs vs TCAM", Exp_tenancy.run);
     ("rail", "E15 (ext): rail-optimized fabric", Exp_rail.run);
     ("failover", "E16 (ext): mid-run failures and re-peeling", Exp_failover.run);
+    ("refine", "E17 (ext): two-stage refinement control plane", Exp_refine.run);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -124,7 +125,8 @@ let headline_ccts () =
       (Scheme.to_string scheme, s))
     Scheme.all
 
-let write_bench_json ~mode ~exp_times ~micro ~headline ~failover ~total =
+let write_bench_json ~mode ~exp_times ~micro ~headline ~failover ~refinement
+    ~total =
   let module Json = Peel_util.Json in
   let opt_num = function Some x -> Json.num x | None -> Json.Null in
   let doc =
@@ -156,6 +158,7 @@ let write_bench_json ~mode ~exp_times ~micro ~headline ~failover ~total =
                    ])
                headline) );
         ("failover_degradation", failover);
+        ("refinement", refinement);
         ("total_wall_s", Json.num total);
       ]
   in
@@ -202,6 +205,8 @@ let () =
   (* Always at Quick scale: a deterministic CCT-degradation record for
      PEEL and the baselines, regardless of which experiments ran. *)
   let failover = Exp_failover.rows_json Common.Quick in
+  let refinement = Exp_refine.rows_json Common.Quick in
   let total = Unix.gettimeofday () -. t0 in
-  write_bench_json ~mode ~exp_times ~micro ~headline ~failover ~total;
+  write_bench_json ~mode ~exp_times ~micro ~headline ~failover ~refinement
+    ~total;
   Printf.printf "\ntotal wall time: %.1f s (BENCH.json written)\n" total

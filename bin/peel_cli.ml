@@ -5,6 +5,7 @@
      simulate   — run Broadcast workloads through the simulator
      trace      — run one workload with tracing on; export JSON/CSV
      failover   — inject a scheduled mid-run link failure and re-peel
+     refine     — two-stage refinement control plane under group churn
      state      — switch-state and header accounting for a fat-tree degree
      experiment — regenerate a paper table/figure by name               *)
 
@@ -130,8 +131,17 @@ let check_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the verdict line.")
   in
-  let run fabric seed scale failures budget quiet =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the diagnostics as a machine-readable JSON document on \
+             stdout instead of the human report (exit code unchanged).")
+  in
+  let run fabric seed scale failures budget quiet json =
     let module D = Peel_check.Diagnostic in
+    let module Json = Peel_util.Json in
     let rng = Rng.create seed in
     if failures > 0.0 then
       ignore (Fabric.fail_random fabric ~rng ~tier:`All ~fraction:failures ());
@@ -140,12 +150,46 @@ let check_cmd =
     let dests = List.filter (fun m -> m <> source) members in
     let ds = Peel_check.check_scenario ?budget fabric ~source ~dests in
     let errs = D.errors ds in
-    if not quiet then Format.printf "%a" D.pp_report ds;
-    Printf.printf "%s: %d-GPU group%s: %d finding(s), %d error(s)\n"
-      (Fabric.describe fabric) scale
-      (if failures > 0.0 then Printf.sprintf " (%.0f%% links failed)" (failures *. 100.0)
-       else "")
-      (List.length ds) (List.length errs);
+    if json then begin
+      let finding d =
+        Json.Obj
+          [
+            ("severity", Json.str (D.severity_to_string d.D.severity));
+            ("code", Json.str d.D.code);
+            ("location", Json.str d.D.location);
+            ("message", Json.str d.D.message);
+          ]
+      in
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.str "peel-check/1");
+            ( "meta",
+              Json.Obj
+                [
+                  ("fabric", Json.str (Fabric.describe fabric));
+                  ("seed", Json.int seed);
+                  ("scale", Json.int scale);
+                  ("failures", Json.num failures);
+                  ( "budget",
+                    match budget with
+                    | None -> Json.Null
+                    | Some b -> Json.int b );
+                ] );
+            ("findings", Json.Arr (List.map finding (D.sort ds)));
+            ("errors", Json.int (List.length errs));
+          ]
+      in
+      print_endline (Json.to_string doc)
+    end
+    else begin
+      if not quiet then Format.printf "%a" D.pp_report ds;
+      Printf.printf "%s: %d-GPU group%s: %d finding(s), %d error(s)\n"
+        (Fabric.describe fabric) scale
+        (if failures > 0.0 then Printf.sprintf " (%.0f%% links failed)" (failures *. 100.0)
+         else "")
+        (List.length ds) (List.length errs)
+    end;
     if errs <> [] then exit 1
   in
   Cmd.v
@@ -154,7 +198,8 @@ let check_cmd =
          "Statically lint a scenario's invariants (tree, plan, rules, \
           schedules); exit non-zero on errors.")
     Term.(
-      const run $ fabric_term $ seed_term $ scale_term $ failures $ budget $ quiet)
+      const run $ fabric_term $ seed_term $ scale_term $ failures $ budget
+      $ quiet $ json)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -577,6 +622,206 @@ let failover_cmd =
       $ quiet)
 
 (* ------------------------------------------------------------------ *)
+(* refine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let refine_cmd =
+  let module Trace = Peel_sim.Trace in
+  let open Peel_ctrl in
+  let schemes =
+    let parse s =
+      match Refine.scheme_of_string s with
+      | Some x -> Ok x
+      | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+    in
+    let print fmt s = Format.pp_print_string fmt (Refine.scheme_to_string s) in
+    Arg.(
+      value
+      & opt (list (conv (parse, print))) Refine.all_schemes
+      & info [ "schemes" ] ~docv:"S1,S2"
+          ~doc:"Schemes: peel-static, peel-refined, ipmc.")
+  in
+  let n =
+    Arg.(value & opt int 6 & info [ "n" ] ~doc:"Number of multicast groups.")
+  in
+  let size_mb =
+    Arg.(value & opt float 64.0 & info [ "size" ] ~doc:"Message size in MB.")
+  in
+  let load =
+    Arg.(value & opt float 0.5 & info [ "load" ] ~doc:"Offered load (0,1].")
+  in
+  let hold =
+    Arg.(
+      value & opt float 0.05
+      & info [ "hold" ] ~doc:"Mean group lifetime after arrival (s).")
+  in
+  let fragmentation =
+    Arg.(
+      value & opt float 0.6
+      & info [ "fragmentation" ]
+          ~doc:"Fraction of servers relocated off the contiguous placement.")
+  in
+  let chunks =
+    Arg.(value & opt int 16 & info [ "chunks" ] ~doc:"Pipelined chunks per message.")
+  in
+  let rpc =
+    Arg.(
+      value & opt float 2e-3
+      & info [ "rpc" ] ~doc:"Controller-to-switch RPC round (s).")
+  in
+  let per_rule =
+    Arg.(
+      value & opt float 20e-6
+      & info [ "per-rule" ] ~doc:"Serial install time per TCAM entry (s).")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 4
+      & info [ "capacity" ]
+          ~doc:"Per-switch TCAM entry budget (<= 0 disables refinement).")
+  in
+  let policy =
+    let parse s =
+      match Tcam.policy_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "unknown eviction policy %S" s))
+    in
+    let print fmt p = Format.pp_print_string fmt (Tcam.policy_to_string p) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Tcam.Lru
+      & info [ "policy" ] ~docv:"POLICY" ~doc:"Eviction policy: lru or bytes.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 1
+      & info [ "budget" ]
+          ~doc:
+            "Static-stage ToR-prefix budget (over-covering cover); 0 = exact \
+             covers, nothing to refine away.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the verdict line.")
+  in
+  let run fabric seed scale schemes n size_mb load hold fragmentation chunks
+      rpc per_rule capacity policy budget quiet =
+    let module D = Peel_check.Diagnostic in
+    let groups =
+      Spec.poisson_groups fabric (Rng.create seed) ~n ~scale
+        ~bytes:(size_mb *. 1e6) ~load ~hold ~fragmentation ()
+    in
+    let cfg =
+      {
+        Controller.rpc;
+        per_rule;
+        capacity;
+        policy;
+        budget = (if budget <= 0 then None else Some budget);
+      }
+    in
+    let run_scheme scheme =
+      let trace = Trace.create ~level:Trace.Full () in
+      (scheme, trace, Refine.run ~chunks ~cfg ~trace fabric scheme groups)
+    in
+    let outs = List.map run_scheme schemes in
+    if not quiet then begin
+      Printf.printf
+        "fabric: %s; %d groups of %d GPUs x %.0f MB in %d chunks\n"
+        (Fabric.describe fabric) n scale size_mb chunks;
+      Printf.printf
+        "controller: rpc %s, %s/rule, TCAM budget %d (%s), prefix budget %s\n\n"
+        (Peel_util.Table.fsec rpc)
+        (Peel_util.Table.fsec per_rule)
+        capacity
+        (Tcam.policy_to_string policy)
+        (match cfg.Controller.budget with
+        | None -> "exact"
+        | Some b -> string_of_int b);
+      Peel_util.Table.print
+        ~header:
+          [ "scheme"; "mean CCT"; "link GB"; "waste GB"; "installs";
+            "evicts"; "refined%" ]
+        (List.map
+           (fun (scheme, trace, out) ->
+             let c = Trace.counters trace in
+             let total =
+               Refine.static_chunks out + Refine.refined_chunks out
+             in
+             [
+               Refine.scheme_to_string scheme;
+               Peel_util.Table.fsec
+                 (Peel_util.Stats.mean out.Refine.run.Runner.ccts);
+               Printf.sprintf "%.3f" (c.Trace.bytes_reserved /. 1e9);
+               Printf.sprintf "%.3f"
+                 (Refine.total_overcover_bytes out /. 1e9);
+               string_of_int (Controller.installs out.Refine.controller);
+               string_of_int (Controller.evictions out.Refine.controller);
+               (if total = 0 then "-"
+                else
+                  Printf.sprintf "%.0f%%"
+                    (100.0
+                    *. float_of_int (Refine.refined_chunks out)
+                    /. float_of_int total));
+             ])
+           outs);
+      print_newline ()
+    end;
+    (* Full lint: the generic simulation checks plus the CTRL family,
+       and a replay of peel-refined to pin CTRL004 determinism. *)
+    let ds =
+      List.concat_map
+        (fun (scheme, trace, out) ->
+          let loc_prefix = Refine.scheme_to_string scheme in
+          let tag d = { d with D.location = loc_prefix ^ ": " ^ d.D.location } in
+          let expected_deliveries =
+            List.fold_left
+              (fun acc (r : Refine.report) ->
+                acc + (r.Refine.r_chunks * r.Refine.r_ndests))
+              0 out.Refine.reports
+          in
+          List.map tag
+            (Peel_check.Check_sim.check_outcome ~expected:n
+               ~ccts:out.Refine.run.Runner.ccts
+               ~makespan:out.Refine.run.Runner.makespan
+               out.Refine.run.Runner.telemetry
+            @ Peel_check.Check_sim.check_trace ~expected_deliveries trace
+            @ Check_ctrl.check_handoff out.Refine.handoffs
+            @ (match Controller.tcam out.Refine.controller with
+              | Some tc -> Check_ctrl.check_budget tc
+              | None -> [])
+            @ Check_ctrl.check_trace trace))
+        outs
+    in
+    let replay =
+      if List.mem Refine.Peel_refined schemes then begin
+        let fp () =
+          (Refine.run ~chunks ~cfg fabric Refine.Peel_refined groups)
+            .Refine.fingerprint
+        in
+        Check_ctrl.check_replay ~first:(fp ()) ~second:(fp ())
+      end
+      else []
+    in
+    let ds = ds @ replay in
+    if ds <> [] && not quiet then Format.printf "%a" D.pp_report ds;
+    let errs = D.errors ds in
+    Printf.printf "refine: %d scheme(s), %d finding(s), %d error(s)\n"
+      (List.length outs) (List.length ds) (List.length errs);
+    if errs <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:
+         "Run a churning multicast group schedule through the two-stage \
+          refinement control plane (static prefix rules, then exact \
+          per-group rules once installs land) and lint the CTRL \
+          invariants; exit non-zero on errors.")
+    Term.(
+      const run $ fabric_term $ seed_term $ scale_term $ schemes $ n $ size_mb
+      $ load $ hold $ fragmentation $ chunks $ rpc $ per_rule $ capacity
+      $ policy $ budget $ quiet)
+
+(* ------------------------------------------------------------------ *)
 (* collective                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -673,6 +918,7 @@ let experiment_cmd =
       ("collectives", Exp_collectives.run); ("multipath", Exp_multipath.run);
       ("loss", Exp_loss.run); ("tenancy", Exp_tenancy.run);
       ("rail", Exp_rail.run); ("failover", Exp_failover.run);
+      ("refine", Exp_refine.run);
     ]
   in
   let exp_name =
@@ -700,5 +946,5 @@ let () =
        (Cmd.group info
           [
             plan_cmd; check_cmd; simulate_cmd; trace_cmd; failover_cmd;
-            collective_cmd; state_cmd; experiment_cmd;
+            refine_cmd; collective_cmd; state_cmd; experiment_cmd;
           ]))

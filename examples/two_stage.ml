@@ -1,0 +1,59 @@
+(* Two-stage refinement (§3.3): a fragmented group launches instantly
+   on its budget-1 static prefix rules — over-covered racks soak up
+   real link bandwidth — and hands off to its exact per-group tree the
+   moment the controller's TCAM installs land.  Sweeps the controller
+   RPC latency and prints how much of the message rides each stage and
+   what the waste costs, against the static-forever and IPMC
+   (install-before-first-chunk) extremes.
+
+   Run with:  dune exec examples/two_stage.exe *)
+
+open Peel_topology
+open Peel_workload
+open Peel_ctrl
+module Rng = Peel_util.Rng
+module Trace = Peel_sim.Trace
+
+let () =
+  let fabric =
+    Fabric.leaf_spine ~spines:4 ~leaves:8 ~hosts_per_leaf:2 ~gpus_per_host:2 ()
+  in
+  Printf.printf "%s\n\n" (Fabric.describe fabric);
+  let groups =
+    Spec.poisson_groups fabric (Rng.create 42) ~n:4 ~scale:8
+      ~bytes:64e6 ~load:0.5 ~hold:0.05 ~fragmentation:0.6 ()
+  in
+  Printf.printf
+    "4 groups of 8 GPUs x 64 MB in 16 chunks, fragmented placement\n\n";
+  let run scheme rpc =
+    let trace = Trace.create ~level:Trace.Counters () in
+    let cfg = { Controller.default_config with Controller.rpc; capacity = 8 } in
+    let out = Refine.run ~chunks:16 ~cfg ~trace fabric scheme groups in
+    (out, (Trace.counters trace).Trace.bytes_reserved)
+  in
+  let static_out, static_bytes = run Refine.Peel_static 0.0 in
+  Printf.printf
+    "PEEL-static : %7.3f GB on the wire, %.3f GB of it over-cover waste\n"
+    (static_bytes /. 1e9)
+    (Refine.total_overcover_bytes static_out /. 1e9);
+  List.iter
+    (fun rpc ->
+      let out, bytes = run Refine.Peel_refined rpc in
+      let total = Refine.static_chunks out + Refine.refined_chunks out in
+      Printf.printf
+        "PEEL-refined: %7.3f GB (rpc %4.1f ms): %2d%% of chunks on exact \
+         rules, %.3f GB saved vs static\n"
+        (bytes /. 1e9) (rpc *. 1e3)
+        (100 * Refine.refined_chunks out / max 1 total)
+        ((static_bytes -. bytes) /. 1e9))
+    [ 0.2e-3; 1e-3; 4e-3 ];
+  let ipmc_out, ipmc_bytes = run Refine.Ipmc 1e-3 in
+  Printf.printf
+    "IPMC        : %7.3f GB (rpc  1.0 ms): zero waste, but every group \
+     stalls %d installs before its first chunk\n"
+    (ipmc_bytes /. 1e9)
+    (Controller.installs ipmc_out.Refine.controller);
+  Printf.printf
+    "\nThe refined rows converge on static as rpc approaches the send \
+     window:\nwhat refinement buys is exactly the over-cover bytes it \
+     cancels in time.\n"

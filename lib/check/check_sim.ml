@@ -123,6 +123,25 @@ let check_trace ?expected_deliveries trace =
           bump `Link_recover;
           Hashtbl.remove down (link land lnot 1)
       | T.Replan _ -> bump `Replan
+      | T.Rule_install { group; switch; rules } ->
+          bump `Rule_install;
+          if group < 0 || switch < 0 || rules < 1 then
+            add
+              (D.errorf ~code:"SIM006" ~loc
+                 "malformed rule-install event (group %d, switch %d, %d rules)"
+                 group switch rules)
+      | T.Refine { group; cost } ->
+          bump `Refine;
+          if group < 0 || cost < 1 then
+            add
+              (D.errorf ~code:"SIM006" ~loc
+                 "malformed refine event (group %d, cost %d)" group cost)
+      | T.Evict { group; switch } ->
+          bump `Evict;
+          if group < 0 || switch < 0 then
+            add
+              (D.errorf ~code:"SIM006" ~loc
+                 "malformed evict event (group %d, switch %d)" group switch)
       | _ -> ()))
     evs;
   (* At Full verbosity the event log and the counters must agree —
@@ -157,7 +176,20 @@ let check_trace ?expected_deliveries trace =
     if n `Replan <> c.T.replans then
       add
         (D.errorf ~code:"SIM006" ~loc:"trace"
-           "%d replan events <> %d replans counted" (n `Replan) c.T.replans)
+           "%d replan events <> %d replans counted" (n `Replan) c.T.replans);
+    if n `Rule_install <> c.T.rule_installs then
+      add
+        (D.errorf ~code:"SIM006" ~loc:"trace"
+           "%d rule-install events <> %d rule installs counted"
+           (n `Rule_install) c.T.rule_installs);
+    if n `Refine <> c.T.refines then
+      add
+        (D.errorf ~code:"SIM006" ~loc:"trace"
+           "%d refine events <> %d refines counted" (n `Refine) c.T.refines);
+    if n `Evict <> c.T.evictions then
+      add
+        (D.errorf ~code:"SIM006" ~loc:"trace"
+           "%d evict events <> %d evictions counted" (n `Evict) c.T.evictions)
   end;
   List.rev !ds
 

@@ -42,6 +42,76 @@ let deliver fabric (plan : Plan.t) =
       { packet_index; pods_reached = List.sort compare pods_reached; tors_reached })
     plan.Plan.packets
 
+let over_covered fabric (plan : Plan.t) =
+  let member = Hashtbl.create 64 in
+  List.iter
+    (fun d -> Hashtbl.replace member (Fabric.attach_tor fabric d) ())
+    plan.Plan.dests;
+  deliver fabric plan
+  |> List.concat_map (fun d -> d.tors_reached)
+  |> List.filter (fun t -> not (Hashtbl.mem member t))
+  |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Refined stage: exact per-group entries (§3.3 stage two)             *)
+(* ------------------------------------------------------------------ *)
+
+type group_entry = {
+  entry_group : int;
+  core_ports : int list;
+  agg_ports : (int * int list) list;
+}
+
+let exact_entry fabric ~group ~members =
+  if members = [] then invalid_arg "Dataplane.exact_entry: empty group";
+  let racks =
+    List.sort_uniq compare (List.map (Fabric.attach_tor fabric) members)
+  in
+  let by_pod = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      let pod = Fabric.pod_of_tor fabric t in
+      let prev = Option.value (Hashtbl.find_opt by_pod pod) ~default:[] in
+      Hashtbl.replace by_pod pod (Fabric.tor_idx_in_pod fabric t :: prev))
+    racks;
+  let agg_ports =
+    Hashtbl.fold (fun pod idxs l -> (pod, List.sort compare idxs) :: l) by_pod []
+    |> List.sort compare
+  in
+  { entry_group = group; core_ports = List.map fst agg_ports; agg_ports }
+
+let deliver_exact fabric entry =
+  List.concat_map
+    (fun pod ->
+      if pod < 0 || pod >= Fabric.pods fabric then
+        invalid_arg "Dataplane.deliver_exact: pod outside the fabric";
+      let racks = Fabric.tors_of_pod fabric pod in
+      match List.assoc_opt pod entry.agg_ports with
+      | None -> []
+      | Some idxs ->
+          List.map
+            (fun idx ->
+              if idx < 0 || idx >= Array.length racks then
+                invalid_arg "Dataplane.deliver_exact: port outside the pod";
+              racks.(idx))
+            idxs)
+    entry.core_ports
+  |> List.sort_uniq compare
+
+let verify_exact fabric entry ~members =
+  let want =
+    List.sort_uniq compare (List.map (Fabric.attach_tor fabric) members)
+  in
+  let got = deliver_exact fabric entry in
+  if got = want then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "group %d: exact entries reach racks %s but members live in %s"
+         entry.entry_group
+         (String.concat "," (List.map string_of_int got))
+         (String.concat "," (List.map string_of_int want)))
+
 let verify fabric (plan : Plan.t) =
   let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
   let deliveries = deliver fabric plan in

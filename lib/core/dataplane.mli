@@ -27,3 +27,39 @@ val verify : Fabric.t -> Plan.t -> (unit, string) result
 (** [Ok ()] iff for every packet the data plane reaches exactly
     [packet.tors] (members plus over-covered racks), and collectively
     every destination's rack is reached. *)
+
+val over_covered : Fabric.t -> Plan.t -> int list
+(** ToR node ids the static pipeline reaches that house no plan
+    destination (ascending, deduped) — the wasted replication a
+    budgeted cover trades for fewer rules.  Computed purely from
+    {!deliver} output, so it can be differenced against the control
+    plane's {!Peel_prefix.Cover} over-cover set. *)
+
+(** {1 Refined stage (§3.3 stage two)}
+
+    Once the controller's per-group installs land, replication no
+    longer goes through the static prefix tables: each core switch
+    holds one exact entry for the group listing its egress pods, and
+    each reached pod's aggregation tier holds the group's member rack
+    ports.  No decode, no power-of-two rounding — and so no
+    over-cover. *)
+
+type group_entry = {
+  entry_group : int;
+  core_ports : int list;              (** pods replicated to, ascending *)
+  agg_ports : (int * int list) list;  (** pod -> member ToR indices *)
+}
+
+val exact_entry : Fabric.t -> group:int -> members:int list -> group_entry
+(** The exact entry set for a group: one core rule fanning out to the
+    pods with members, one agg rule per such pod listing exactly the
+    member racks.  Raises [Invalid_argument] on an empty group. *)
+
+val deliver_exact : Fabric.t -> group_entry -> int list
+(** Replay the entry through the switches: ToR node ids reached
+    (ascending).  Raises [Invalid_argument] if the entry names a pod or
+    port outside the fabric. *)
+
+val verify_exact : Fabric.t -> group_entry -> members:int list -> (unit, string) result
+(** [Ok ()] iff the refined pipeline reaches {e exactly} the member
+    racks — the CTRL001 contract. *)

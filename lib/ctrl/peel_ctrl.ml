@@ -1,0 +1,16 @@
+(** PEEL's control plane (§3.3): multicast group churn over a shared
+    fabric, a modeled controller with install latency, bounded
+    per-switch TCAM state with eviction, and the two-stage
+    static-to-exact handoff.
+
+    - {!Tcam} — bounded per-switch entry tables with LRU /
+      bytes-weighted eviction.
+    - {!Controller} — install scheduling, stage tracking, departures.
+    - {!Refine} — the stage-switching launcher and the
+      static/refined/IPMC schemes.
+    - {!Check_ctrl} — the CTRL invariant lints. *)
+
+module Tcam = Tcam
+module Controller = Controller
+module Refine = Refine
+module Check_ctrl = Check_ctrl

@@ -1,0 +1,112 @@
+type policy = Lru | Bytes_weighted
+
+let policy_to_string = function Lru -> "lru" | Bytes_weighted -> "bytes"
+
+let policy_of_string = function
+  | "lru" -> Some Lru
+  | "bytes" | "bytes-weighted" | "bytes_weighted" -> Some Bytes_weighted
+  | _ -> None
+
+type entry = { mutable last_used : float; mutable bytes : float }
+
+type t = {
+  capacity : int;
+  policy : policy;
+  tables : (int, (int, entry) Hashtbl.t) Hashtbl.t;
+  mutable installs : int;
+  mutable evictions : int;
+  mutable max_used : int;
+}
+
+let create ~capacity ~policy =
+  if capacity < 1 then invalid_arg "Tcam.create: capacity must be >= 1";
+  {
+    capacity;
+    policy;
+    tables = Hashtbl.create 16;
+    installs = 0;
+    evictions = 0;
+    max_used = 0;
+  }
+
+let capacity t = t.capacity
+let policy t = t.policy
+let installs t = t.installs
+let evictions t = t.evictions
+let max_used t = t.max_used
+
+let table t switch =
+  match Hashtbl.find_opt t.tables switch with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.add t.tables switch tbl;
+      tbl
+
+let used t ~switch =
+  match Hashtbl.find_opt t.tables switch with
+  | Some tbl -> Hashtbl.length tbl
+  | None -> 0
+
+let holds t ~switch ~group =
+  match Hashtbl.find_opt t.tables switch with
+  | Some tbl -> Hashtbl.mem tbl group
+  | None -> false
+
+(* Deterministic victim: worst score under the policy, ties broken by
+   the lowest group id (hashtable fold order never shows through). *)
+let victim t tbl =
+  Hashtbl.fold
+    (fun g (e : entry) best ->
+      let score =
+        match t.policy with Lru -> e.last_used | Bytes_weighted -> e.bytes
+      in
+      match best with
+      | None -> Some (g, score)
+      | Some (bg, bs) ->
+          if score < bs || (score = bs && g < bg) then Some (g, score) else best)
+    tbl None
+
+let install t ~now ~switch ~group =
+  let tbl = table t switch in
+  if Hashtbl.mem tbl group then []
+  else begin
+    let victims = ref [] in
+    while Hashtbl.length tbl >= t.capacity do
+      match victim t tbl with
+      | None -> assert false (* capacity >= 1 and the table is full *)
+      | Some (g, _) ->
+          Hashtbl.remove tbl g;
+          t.evictions <- t.evictions + 1;
+          victims := g :: !victims
+    done;
+    Hashtbl.replace tbl group { last_used = now; bytes = 0.0 };
+    t.installs <- t.installs + 1;
+    let u = Hashtbl.length tbl in
+    if u > t.max_used then t.max_used <- u;
+    List.rev !victims
+  end
+
+let touch t ~now ~switch ~group ~bytes =
+  match Hashtbl.find_opt t.tables switch with
+  | None -> ()
+  | Some tbl -> (
+      match Hashtbl.find_opt tbl group with
+      | None -> ()
+      | Some e ->
+          e.last_used <- now;
+          e.bytes <- e.bytes +. bytes)
+
+let remove_group t ~group =
+  Hashtbl.fold
+    (fun _sw tbl n ->
+      if Hashtbl.mem tbl group then begin
+        Hashtbl.remove tbl group;
+        n + 1
+      end
+      else n)
+    t.tables 0
+
+let occupancy t =
+  Hashtbl.fold (fun sw tbl l -> (sw, Hashtbl.length tbl) :: l) t.tables []
+  |> List.sort compare

@@ -1,0 +1,58 @@
+(** Bounded per-switch TCAM state for exact per-group replication
+    rules.
+
+    Each programmable switch holds at most [capacity] per-group
+    entries.  Installing a group into a full switch evicts victims
+    until it fits; the victim is chosen by the eviction [policy]:
+
+    - [Lru]: the entry with the oldest [last_used] stamp,
+    - [Bytes_weighted]: the entry that has carried the fewest bytes,
+
+    with ties broken deterministically by the lowest group id, so a
+    fixed seed replays bit-identically.  The controller (not this
+    module) decides what an eviction means for the victim group —
+    here it is pure table bookkeeping. *)
+
+type policy = Lru | Bytes_weighted
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> policy option
+
+type t
+
+val create : capacity:int -> policy:policy -> t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+val capacity : t -> int
+val policy : t -> policy
+
+val install : t -> now:float -> switch:int -> group:int -> int list
+(** Install [group]'s entry at [switch], evicting victims as needed.
+    Returns the evicted group ids (oldest victim first; [] if the
+    entry fit or was already present).  The caller must finish each
+    victim off with {!remove_group} — a group with entries missing at
+    one switch cannot replicate exactly anywhere. *)
+
+val touch : t -> now:float -> switch:int -> group:int -> bytes:float -> unit
+(** Account a chunk of [bytes] through [group]'s entry at [switch]
+    (updates the LRU stamp and the byte weight); no-op if absent. *)
+
+val remove_group : t -> group:int -> int
+(** Drop [group]'s entries at every switch (departure or eviction
+    fallout); returns how many were removed.  Not counted as
+    evictions. *)
+
+val holds : t -> switch:int -> group:int -> bool
+val used : t -> switch:int -> int
+
+val occupancy : t -> (int * int) list
+(** [(switch, entries)] pairs, ascending switch id. *)
+
+val installs : t -> int
+(** Total entries ever installed. *)
+
+val evictions : t -> int
+(** Total victims displaced by {!install}. *)
+
+val max_used : t -> int
+(** High-water occupancy across all switches — the CTRL002 witness. *)

@@ -15,6 +15,9 @@ type kind =
   | Link_fail of { link : int }
   | Link_recover of { link : int }
   | Replan of { flow : int; cost : int }
+  | Rule_install of { group : int; switch : int; rules : int }
+  | Refine of { group : int; cost : int }
+  | Evict of { group : int; switch : int }
 
 type event = { time : float; kind : kind }
 
@@ -32,6 +35,9 @@ type counters = {
   mutable link_fails : int;
   mutable link_recovers : int;
   mutable replans : int;
+  mutable rule_installs : int;
+  mutable refines : int;
+  mutable evictions : int;
   mutable engine_events : int;
   mutable engine_max_pending : int;
 }
@@ -61,6 +67,9 @@ let zero_counters () =
     link_fails = 0;
     link_recovers = 0;
     replans = 0;
+    rule_installs = 0;
+    refines = 0;
+    evictions = 0;
     engine_events = 0;
     engine_max_pending = 0;
   }
@@ -177,6 +186,24 @@ let replan t ~time ~flow ~cost =
   if t.level <> Off then begin
     t.c.replans <- t.c.replans + 1;
     if t.level = Full then push t { time; kind = Replan { flow; cost } }
+  end
+
+let rule_install t ~time ~group ~switch ~rules =
+  if t.level <> Off then begin
+    t.c.rule_installs <- t.c.rule_installs + 1;
+    if t.level = Full then push t { time; kind = Rule_install { group; switch; rules } }
+  end
+
+let refine t ~time ~group ~cost =
+  if t.level <> Off then begin
+    t.c.refines <- t.c.refines + 1;
+    if t.level = Full then push t { time; kind = Refine { group; cost } }
+  end
+
+let evict t ~time ~group ~switch =
+  if t.level <> Off then begin
+    t.c.evictions <- t.c.evictions + 1;
+    if t.level = Full then push t { time; kind = Evict { group; switch } }
   end
 
 let note_engine t ~events =
@@ -349,6 +376,9 @@ let counters_to_json t =
       ("link_fails", Json.int c.link_fails);
       ("link_recovers", Json.int c.link_recovers);
       ("replans", Json.int c.replans);
+      ("rule_installs", Json.int c.rule_installs);
+      ("refines", Json.int c.refines);
+      ("evictions", Json.int c.evictions);
       ("engine_events", Json.int c.engine_events);
       ("engine_max_pending", Json.int c.engine_max_pending);
       ("sampled_out", Json.int t.skipped);
@@ -367,6 +397,9 @@ let kind_name = function
   | Link_fail _ -> "link_fail"
   | Link_recover _ -> "link_recover"
   | Replan _ -> "replan"
+  | Rule_install _ -> "rule_install"
+  | Refine _ -> "refine"
+  | Evict _ -> "evict"
 
 let event_to_json ev =
   let base = [ ("t", Json.num ev.time); ("kind", Json.str (kind_name ev.kind)) ] in
@@ -392,6 +425,13 @@ let event_to_json ev =
     | Link_fail { link } -> [ ("link", Json.int link) ]
     | Link_recover { link } -> [ ("link", Json.int link) ]
     | Replan { flow; cost } -> [ ("flow", Json.int flow); ("cost", Json.int cost) ]
+    | Rule_install { group; switch; rules } ->
+        [ ("group", Json.int group); ("switch", Json.int switch);
+          ("rules", Json.int rules) ]
+    | Refine { group; cost } ->
+        [ ("group", Json.int group); ("cost", Json.int cost) ]
+    | Evict { group; switch } ->
+        [ ("group", Json.int group); ("switch", Json.int switch) ]
   in
   Json.Obj (base @ rest)
 
@@ -431,6 +471,13 @@ let events_csv t =
       | Link_fail { link } | Link_recover { link } ->
           [ fi link; ""; ""; ""; ""; ""; ""; "" ]
       | Replan { flow; _ } -> [ ""; ""; fi flow; ""; ""; ""; ""; "" ]
+      (* Control-plane events reuse the fixed header: switch -> node,
+         group -> flow, rules -> chunk. *)
+      | Rule_install { group; switch; rules } ->
+          [ ""; fi switch; fi group; fi rules; ""; ""; ""; "" ]
+      | Refine { group; _ } -> [ ""; ""; fi group; ""; ""; ""; ""; "" ]
+      | Evict { group; switch } ->
+          [ ""; fi switch; fi group; ""; ""; ""; ""; "" ]
     in
     Buffer.add_string b (ff ev.time);
     Buffer.add_char b ',';

@@ -58,6 +58,15 @@ type kind =
   | Replan of { flow : int; cost : int }
       (** the controller spliced a re-peeled tree into [flow]; [cost]
           is the new tree's link count *)
+  | Rule_install of { group : int; switch : int; rules : int }
+      (** the controller installed [group]'s exact replication entry at
+          [switch]; [rules] is the entry's egress fan-out (ports) *)
+  | Refine of { group : int; cost : int }
+      (** [group]'s installs all landed — subsequent chunks ride the
+          exact per-group tree of [cost] links (§3.3 stage two) *)
+  | Evict of { group : int; switch : int }
+      (** TCAM pressure at [switch] evicted [group]'s entries; the
+          group falls back to static prefix rules *)
 
 type event = { time : float; kind : kind }
 
@@ -78,6 +87,9 @@ type counters = {
   mutable link_fails : int;
   mutable link_recovers : int;
   mutable replans : int;
+  mutable rule_installs : int;
+  mutable refines : int;
+  mutable evictions : int;
   mutable engine_events : int;
   mutable engine_max_pending : int;
 }
@@ -143,6 +155,18 @@ val replan : t -> time:float -> flow:int -> cost:int -> unit
 (** The controller swapped [flow]'s multicast tree for a re-peeled one
     of [cost] links. *)
 
+val rule_install : t -> time:float -> group:int -> switch:int -> rules:int -> unit
+(** The controller installed [group]'s exact entry ([rules] egress
+    ports) at [switch]. *)
+
+val refine : t -> time:float -> group:int -> cost:int -> unit
+(** [group] switched from static prefix rules to its exact per-group
+    tree of [cost] links. *)
+
+val evict : t -> time:float -> group:int -> switch:int -> unit
+(** [group] lost its entries to TCAM pressure at [switch] and reverted
+    to static prefix rules. *)
+
 val note_engine : t -> events:int -> unit
 (** Record the engine's processed-event count (monotone max). *)
 
@@ -198,4 +222,6 @@ val csv_header : string
 
 val events_csv : t -> string
 (** The event log as CSV ({!csv_header} first); fields a kind lacks are
-    left empty. *)
+    left empty.  Control-plane events reuse the fixed columns:
+    [switch] prints under [node], [group] under [flow], and a
+    [Rule_install]'s [rules] under [chunk]. *)

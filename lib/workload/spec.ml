@@ -108,3 +108,43 @@ let poisson_broadcasts fabric rng ~n ~scale ~bytes ~load ?(fragmentation = 0.0) 
     end
   in
   go 0 0.0 []
+
+type group = {
+  g_id : int;
+  g_arrival : float;
+  g_departure : float;
+  g_source : int;
+  g_dests : int list;
+  g_members : int list;
+  g_bytes : float;
+}
+
+let poisson_groups fabric rng ~n ~scale ~bytes ~load ~hold
+    ?(fragmentation = 0.0) () =
+  if hold <= 0.0 || not (Float.is_finite hold) then
+    invalid_arg "Spec.poisson_groups: hold must be positive";
+  poisson_broadcasts fabric rng ~n ~scale ~bytes ~load ~fragmentation ()
+  |> List.map (fun c ->
+         (* Group state outlives the message by an exponential hold —
+            the multicast group stays registered at the controller
+            until it departs and frees its switch entries. *)
+         let life = max 1e-9 (Rng.exponential rng ~mean:hold) in
+         {
+           g_id = c.id;
+           g_arrival = c.arrival;
+           g_departure = c.arrival +. life;
+           g_source = c.source;
+           g_dests = c.dests;
+           g_members = c.members;
+           g_bytes = c.bytes;
+         })
+
+let collective_of_group g =
+  {
+    id = g.g_id;
+    arrival = g.g_arrival;
+    source = g.g_source;
+    dests = g.g_dests;
+    members = g.g_members;
+    bytes = g.g_bytes;
+  }

@@ -47,3 +47,38 @@ val poisson_broadcasts :
   collective list
 (** [n] broadcasts with exponential interarrivals, fresh placement and
     a uniformly random member as source for each. *)
+
+(** {1 Group churn}
+
+    A multicast {e group} is a collective plus a lifetime: it arrives
+    (Poisson), registers with the controller, and departs after an
+    exponential hold, freeing any per-group switch entries it earned.
+    This is the arrival/departure process the {!Peel_ctrl} control
+    plane schedules installs and evictions against. *)
+
+type group = {
+  g_id : int;
+  g_arrival : float;       (** seconds *)
+  g_departure : float;     (** strictly after [g_arrival] *)
+  g_source : int;
+  g_dests : int list;
+  g_members : int list;
+  g_bytes : float;
+}
+
+val poisson_groups :
+  Fabric.t ->
+  Peel_util.Rng.t ->
+  n:int ->
+  scale:int ->
+  bytes:float ->
+  load:float ->
+  hold:float ->
+  ?fragmentation:float ->
+  unit ->
+  group list
+(** Like {!poisson_broadcasts}, plus a departure at [arrival + Exp(hold)]
+    per group.  Raises [Invalid_argument] if [hold <= 0]. *)
+
+val collective_of_group : group -> collective
+(** Forget the lifetime (id, arrival, members and bytes carry over). *)

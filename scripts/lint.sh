@@ -3,12 +3,20 @@
 # `peel_cli check` over representative fabrics (healthy, failed,
 # budgeted), the @trace-smoke alias lints a traced simulation's export
 # (SIM005/SIM006), the @failover-smoke alias lints mid-run failure
-# injection with re-peeling (SIM007/TREE006), and the unit suite
-# exercises every diagnostic code.
+# injection with re-peeling (SIM007/TREE006), the @ctrl-smoke alias
+# lints the two-stage refinement control plane (CTRL001-005), and the
+# unit suite exercises every diagnostic code. When odoc is installed
+# the documentation gate (scripts/docs.sh) must also pass.
 # Exits non-zero on the first violated invariant.
 set -eu
 cd "$(dirname "$0")/.."
 dune build @check-lint
 dune build @trace-smoke
 dune build @failover-smoke
+dune build @ctrl-smoke
 dune exec test/test_check.exe -- -c
+if command -v odoc >/dev/null 2>&1; then
+  sh scripts/docs.sh
+else
+  echo "lint.sh: odoc not installed; skipped the docs gate (scripts/docs.sh)"
+fi

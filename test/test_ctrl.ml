@@ -1,0 +1,512 @@
+(* Tests for the two-stage refinement control plane: TCAM bookkeeping
+   and eviction determinism, controller install timing and stage
+   transitions, the CTRL invariant lints on good and corrupted inputs,
+   the end-to-end refinement runs (conservation, the E17 bandwidth-gap
+   property, bit-identical replay), a QCheck differential between the
+   data plane's over-covered racks and the control plane's cover
+   waste, and the new trace events' export round-trips. *)
+
+open Peel_topology
+open Peel_workload
+open Peel_ctrl
+module Plan = Peel.Plan
+module Dataplane = Peel.Dataplane
+module Trace = Peel_sim.Trace
+module Engine = Peel_sim.Engine
+module Json = Peel_util.Json
+module Rng = Peel_util.Rng
+module D = Peel_check.Diagnostic
+
+let ls48 () = Fabric.leaf_spine ~spines:4 ~leaves:8 ~hosts_per_leaf:2 ~gpus_per_host:2 ()
+
+let groups_for ?(n = 4) ?(seed = 1700) ?(hold = 0.05) fabric =
+  Spec.poisson_groups fabric (Rng.create seed) ~n ~scale:8
+    ~bytes:8e6 ~load:0.5 ~hold ~fragmentation:0.6 ()
+
+let strings_of ds = List.map D.to_string ds
+
+(* ------------------------------------------------------------------ *)
+(* TCAM                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_tcam_create_validates () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Tcam.create: capacity must be >= 1") (fun () ->
+      ignore (Tcam.create ~capacity:0 ~policy:Tcam.Lru))
+
+let test_tcam_install_and_holds () =
+  let t = Tcam.create ~capacity:2 ~policy:Tcam.Lru in
+  Alcotest.(check (list int)) "fits, no victims" []
+    (Tcam.install t ~now:0.0 ~switch:3 ~group:7);
+  Alcotest.(check bool) "holds" true (Tcam.holds t ~switch:3 ~group:7);
+  Alcotest.(check bool) "other switch empty" false
+    (Tcam.holds t ~switch:4 ~group:7);
+  Alcotest.(check int) "used" 1 (Tcam.used t ~switch:3);
+  Alcotest.(check (list int)) "reinstall is idempotent" []
+    (Tcam.install t ~now:1.0 ~switch:3 ~group:7);
+  Alcotest.(check int) "still one entry" 1 (Tcam.used t ~switch:3);
+  Alcotest.(check int) "installs counted once" 1 (Tcam.installs t)
+
+let test_tcam_lru_eviction () =
+  let t = Tcam.create ~capacity:1 ~policy:Tcam.Lru in
+  ignore (Tcam.install t ~now:0.0 ~switch:0 ~group:1);
+  Alcotest.(check (list int)) "oldest evicted" [ 1 ]
+    (Tcam.install t ~now:1.0 ~switch:0 ~group:2);
+  Alcotest.(check bool) "victim gone" false (Tcam.holds t ~switch:0 ~group:1);
+  Alcotest.(check bool) "winner present" true (Tcam.holds t ~switch:0 ~group:2);
+  Alcotest.(check int) "one eviction" 1 (Tcam.evictions t)
+
+let test_tcam_lru_recency () =
+  (* Touching an entry protects it: the untouched one is the victim. *)
+  let t = Tcam.create ~capacity:2 ~policy:Tcam.Lru in
+  ignore (Tcam.install t ~now:0.0 ~switch:0 ~group:1);
+  ignore (Tcam.install t ~now:1.0 ~switch:0 ~group:2);
+  Tcam.touch t ~now:2.0 ~switch:0 ~group:1 ~bytes:10.0;
+  Alcotest.(check (list int)) "least recent evicted" [ 2 ]
+    (Tcam.install t ~now:3.0 ~switch:0 ~group:3)
+
+let test_tcam_bytes_weighted () =
+  (* The entry that carried the fewest bytes loses, not the oldest. *)
+  let t = Tcam.create ~capacity:2 ~policy:Tcam.Bytes_weighted in
+  ignore (Tcam.install t ~now:0.0 ~switch:0 ~group:1);
+  ignore (Tcam.install t ~now:1.0 ~switch:0 ~group:2);
+  Tcam.touch t ~now:2.0 ~switch:0 ~group:1 ~bytes:1e9;
+  Tcam.touch t ~now:2.5 ~switch:0 ~group:2 ~bytes:1e3;
+  Alcotest.(check (list int)) "lightest evicted" [ 2 ]
+    (Tcam.install t ~now:3.0 ~switch:0 ~group:3)
+
+let test_tcam_tie_breaks_on_group_id () =
+  (* Identical stamps: the lowest group id is the deterministic victim. *)
+  let t = Tcam.create ~capacity:2 ~policy:Tcam.Lru in
+  ignore (Tcam.install t ~now:5.0 ~switch:0 ~group:9);
+  ignore (Tcam.install t ~now:5.0 ~switch:0 ~group:4);
+  Alcotest.(check (list int)) "lowest id loses the tie" [ 4 ]
+    (Tcam.install t ~now:6.0 ~switch:0 ~group:7)
+
+let test_tcam_remove_group () =
+  let t = Tcam.create ~capacity:4 ~policy:Tcam.Lru in
+  ignore (Tcam.install t ~now:0.0 ~switch:0 ~group:1);
+  ignore (Tcam.install t ~now:0.0 ~switch:1 ~group:1);
+  ignore (Tcam.install t ~now:0.0 ~switch:1 ~group:2);
+  Alcotest.(check int) "both entries dropped" 2 (Tcam.remove_group t ~group:1);
+  Alcotest.(check bool) "gone everywhere" false
+    (Tcam.holds t ~switch:0 ~group:1 || Tcam.holds t ~switch:1 ~group:1);
+  Alcotest.(check int) "departures are not evictions" 0 (Tcam.evictions t);
+  Alcotest.(check (list (pair int int))) "occupancy sorted" [ (0, 0); (1, 1) ]
+    (Tcam.occupancy t)
+
+let test_tcam_max_used () =
+  let t = Tcam.create ~capacity:3 ~policy:Tcam.Lru in
+  ignore (Tcam.install t ~now:0.0 ~switch:0 ~group:1);
+  ignore (Tcam.install t ~now:0.0 ~switch:0 ~group:2);
+  ignore (Tcam.remove_group t ~group:1);
+  ignore (Tcam.remove_group t ~group:2);
+  Alcotest.(check int) "high-water survives removal" 2 (Tcam.max_used t);
+  Alcotest.(check int) "tables are empty" 0 (Tcam.used t ~switch:0)
+
+(* ------------------------------------------------------------------ *)
+(* Controller                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cfg ?(rpc = 1e-3) ?(per_rule = 10e-6) ?(capacity = 8) () =
+  { Controller.default_config with Controller.rpc; per_rule; capacity }
+
+let test_controller_install_latency () =
+  let c = Controller.create (cfg ()) in
+  Alcotest.(check (float 1e-12)) "rpc + n * per_rule" 1.05e-3
+    (Controller.install_latency c ~nrules:5)
+
+let test_controller_stage_transition () =
+  let c = Controller.create (cfg ()) in
+  let e = Engine.create () in
+  Controller.admit c e ~gid:1 ~at:0.0 ~switches:[ (10, 2); (11, 3) ] ~cost:6;
+  Alcotest.(check string) "static before installs land" "static"
+    (Controller.stage_to_string (Controller.stage c ~gid:1));
+  Engine.run e;
+  Alcotest.(check string) "refined after" "refined"
+    (Controller.stage_to_string (Controller.stage c ~gid:1));
+  Alcotest.(check int) "two entries installed" 2 (Controller.installs c);
+  Alcotest.(check string) "unknown group is static" "static"
+    (Controller.stage_to_string (Controller.stage c ~gid:99))
+
+let test_controller_no_tcam_stays_static () =
+  let c = Controller.create (cfg ~capacity:0 ()) in
+  let e = Engine.create () in
+  Controller.admit c e ~gid:1 ~at:0.0 ~switches:[ (10, 2) ] ~cost:2;
+  Engine.run e;
+  Alcotest.(check string) "capacity <= 0 disables refinement" "static"
+    (Controller.stage_to_string (Controller.stage c ~gid:1));
+  Alcotest.(check bool) "no table exists" true (Controller.tcam c = None)
+
+let test_controller_release_cancels_install () =
+  let c = Controller.create (cfg ()) in
+  let e = Engine.create () in
+  Controller.admit c e ~gid:1 ~at:0.0 ~switches:[ (10, 2) ] ~cost:2;
+  Controller.release c ~gid:1;
+  Engine.run e;
+  Alcotest.(check string) "departed group never refines" "static"
+    (Controller.stage_to_string (Controller.stage c ~gid:1));
+  match Controller.tcam c with
+  | None -> Alcotest.fail "tcam expected"
+  | Some t -> Alcotest.(check int) "no entry landed" 0 (Tcam.used t ~switch:10)
+
+let test_controller_duplicate_admit_raises () =
+  let c = Controller.create (cfg ()) in
+  let e = Engine.create () in
+  Controller.admit c e ~gid:1 ~at:0.0 ~switches:[ (10, 2) ] ~cost:2;
+  Alcotest.(check bool) "duplicate gid rejected" true
+    (try
+       Controller.admit c e ~gid:1 ~at:1.0 ~switches:[ (11, 2) ] ~cost:2;
+       false
+     with Invalid_argument _ -> true)
+
+let test_controller_eviction_reverts_victim () =
+  (* Capacity 1 on a shared switch: the second install displaces the
+     first group, which must drop back to the static stage. *)
+  let c = Controller.create (cfg ~capacity:1 ()) in
+  let e = Engine.create () in
+  Controller.admit c e ~gid:1 ~at:0.0 ~switches:[ (10, 2) ] ~cost:2;
+  Controller.admit c e ~gid:2 ~at:0.5 ~switches:[ (10, 2) ] ~cost:2;
+  Engine.run e;
+  Alcotest.(check string) "victim back to static" "static"
+    (Controller.stage_to_string (Controller.stage c ~gid:1));
+  Alcotest.(check string) "winner refined" "refined"
+    (Controller.stage_to_string (Controller.stage c ~gid:2));
+  Alcotest.(check int) "one eviction" 1 (Controller.evictions c)
+
+(* ------------------------------------------------------------------ *)
+(* CTRL lints on good and corrupted inputs                             *)
+(* ------------------------------------------------------------------ *)
+
+let some_members fabric =
+  let eps = Fabric.endpoints fabric in
+  List.init 8 (fun i -> eps.(4 * i))
+
+let test_check_refined_cover_clean () =
+  let f = ls48 () in
+  let members = some_members f in
+  let source = List.hd members in
+  let tree = Peel.multicast_tree f ~source ~dests:(List.tl members) in
+  Alcotest.(check (list string)) "exact entries lint clean" []
+    (strings_of (Check_ctrl.check_refined_cover f ~group:0 ~members ~tree))
+
+let test_check_refined_cover_catches_mismatch () =
+  let f = ls48 () in
+  let members = some_members f in
+  (* A tree spanning all the members, checked against a member list
+     missing one rack's endpoints: the cover is no longer exact. *)
+  let source = List.hd members in
+  let tree = Peel.multicast_tree f ~source ~dests:(List.tl members) in
+  let claimed = List.filteri (fun i _ -> i < List.length members - 2) members in
+  let ds = Check_ctrl.check_refined_cover f ~group:0 ~members:claimed ~tree in
+  Alcotest.(check bool) "CTRL001 on a bad member list" true
+    (ds <> []
+    && List.for_all (fun d -> d.D.code = "CTRL001") ds)
+
+let test_check_budget () =
+  let t = Tcam.create ~capacity:2 ~policy:Tcam.Lru in
+  ignore (Tcam.install t ~now:0.0 ~switch:0 ~group:1);
+  ignore (Tcam.install t ~now:0.0 ~switch:0 ~group:2);
+  Alcotest.(check (list string)) "at capacity is fine" []
+    (strings_of (Check_ctrl.check_budget t))
+
+let test_check_handoff () =
+  let good =
+    { Check_ctrl.h_gid = 0; h_ndests = 3; h_chunks = 4; h_static = 1;
+      h_refined = 3; h_deliveries = 12 }
+  in
+  Alcotest.(check (list string)) "conserving handoff is clean" []
+    (strings_of (Check_ctrl.check_handoff [ good ]));
+  let lost = { good with Check_ctrl.h_refined = 2 } in
+  let dup = { good with Check_ctrl.h_deliveries = 13 } in
+  let ds = Check_ctrl.check_handoff [ good; lost; dup ] in
+  Alcotest.(check int) "both violations caught" 2 (List.length ds);
+  Alcotest.(check bool) "all CTRL003" true
+    (List.for_all (fun d -> d.D.code = "CTRL003") ds)
+
+let test_check_replay_mismatch () =
+  Alcotest.(check (list string)) "identical digests pass" []
+    (strings_of (Check_ctrl.check_replay ~first:"abc" ~second:"abc"));
+  let ds = Check_ctrl.check_replay ~first:"abc" ~second:"abd" in
+  Alcotest.(check bool) "CTRL004 on divergence" true
+    (ds <> [] && List.for_all (fun d -> d.D.code = "CTRL004") ds)
+
+let test_check_trace_ordering () =
+  let good = Trace.create ~level:Trace.Full () in
+  Trace.rule_install good ~time:1.0 ~group:5 ~switch:2 ~rules:3;
+  Trace.refine good ~time:1.0 ~group:5 ~cost:7;
+  Trace.evict good ~time:2.0 ~group:5 ~switch:2;
+  Alcotest.(check (list string)) "install -> refine -> evict is legal" []
+    (strings_of (Check_ctrl.check_trace good));
+  let bad = Trace.create ~level:Trace.Full () in
+  Trace.refine bad ~time:1.0 ~group:5 ~cost:7;
+  let ds = Check_ctrl.check_trace bad in
+  Alcotest.(check bool) "CTRL005 on refine without installs" true
+    (ds <> [] && List.for_all (fun d -> d.D.code = "CTRL005") ds);
+  let bad2 = Trace.create ~level:Trace.Full () in
+  Trace.evict bad2 ~time:1.0 ~group:5 ~switch:2;
+  Alcotest.(check bool) "CTRL005 on evict without install" true
+    (Check_ctrl.check_trace bad2 <> [])
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end refinement runs                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_scheme ?(rpc = 0.2e-3) ?(capacity = 8) fabric groups scheme =
+  let trace = Trace.create ~level:Trace.Counters () in
+  let cfg =
+    { Controller.default_config with Controller.rpc; per_rule = 10e-6;
+      capacity }
+  in
+  let out = Refine.run ~chunks:8 ~cfg ~trace fabric scheme groups in
+  (out, Trace.counters trace)
+
+let test_refine_conserves_chunks () =
+  let f = ls48 () in
+  let groups = groups_for f in
+  List.iter
+    (fun scheme ->
+      let out, _ = run_scheme f groups scheme in
+      Alcotest.(check (list string))
+        (Refine.scheme_to_string scheme ^ " handoffs conserve")
+        []
+        (strings_of (Check_ctrl.check_handoff out.Refine.handoffs));
+      List.iter
+        (fun (r : Refine.report) ->
+          Alcotest.(check int)
+            (Printf.sprintf "group %d delivered everywhere" r.Refine.r_gid)
+            (r.Refine.r_chunks * r.Refine.r_ndests)
+            r.Refine.r_deliveries)
+        out.Refine.reports)
+    Refine.all_schemes
+
+let test_refine_closes_bandwidth_gap () =
+  (* The E17 acceptance property: with over-covering static plans and a
+     fast controller, refined PEEL moves strictly fewer link bytes than
+     static; the gap shrinks as install latency grows. *)
+  let f = ls48 () in
+  let groups = groups_for f in
+  let static_out, sc = run_scheme f groups Refine.Peel_static in
+  Alcotest.(check bool) "schedule over-covers" true
+    (Refine.total_overcover_bytes static_out > 0.0);
+  let _, fast = run_scheme ~rpc:0.2e-3 f groups Refine.Peel_refined in
+  let _, slow = run_scheme ~rpc:2e-3 f groups Refine.Peel_refined in
+  Alcotest.(check bool) "refined strictly under static" true
+    (fast.Trace.bytes_reserved < sc.Trace.bytes_reserved);
+  Alcotest.(check bool) "gap shrinks with install latency" true
+    (slow.Trace.bytes_reserved >= fast.Trace.bytes_reserved);
+  Alcotest.(check bool) "slow refined never exceeds static" true
+    (slow.Trace.bytes_reserved <= sc.Trace.bytes_reserved)
+
+let test_refine_static_never_refines () =
+  let f = ls48 () in
+  let groups = groups_for f in
+  let out, _ = run_scheme f groups Refine.Peel_static in
+  Alcotest.(check int) "no refined chunks" 0 (Refine.refined_chunks out);
+  Alcotest.(check int) "no installs" 0 (Controller.installs out.Refine.controller)
+
+let test_refine_ipmc_no_overcover () =
+  let f = ls48 () in
+  let groups = groups_for f in
+  let out, _ = run_scheme f groups Refine.Ipmc in
+  Alcotest.(check (float 0.0)) "ipmc wastes nothing" 0.0
+    (Refine.total_overcover_bytes out);
+  Alcotest.(check int) "every chunk on exact rules"
+    (Refine.static_chunks out + Refine.refined_chunks out)
+    (Refine.refined_chunks out)
+
+let test_refine_replay_bit_identical () =
+  let f = ls48 () in
+  let groups = groups_for f in
+  let a, _ = run_scheme f groups Refine.Peel_refined in
+  let b, _ = run_scheme f groups Refine.Peel_refined in
+  Alcotest.(check string) "CTRL004 digest" a.Refine.fingerprint
+    b.Refine.fingerprint;
+  Alcotest.(check (list string)) "check_replay agrees" []
+    (strings_of
+       (Check_ctrl.check_replay ~first:a.Refine.fingerprint
+          ~second:b.Refine.fingerprint))
+
+let test_refine_eviction_pressure () =
+  (* Capacity 1 with long-lived groups forces evictions; conservation
+     and the budget invariant must hold regardless. *)
+  let f = ls48 () in
+  let groups = groups_for ~n:8 ~hold:0.5 f in
+  let out, _ = run_scheme ~capacity:1 f groups Refine.Peel_refined in
+  Alcotest.(check (list string)) "handoffs conserve under churn" []
+    (strings_of (Check_ctrl.check_handoff out.Refine.handoffs));
+  (match Controller.tcam out.Refine.controller with
+  | None -> Alcotest.fail "tcam expected"
+  | Some t ->
+      Alcotest.(check (list string)) "budget never exceeded" []
+        (strings_of (Check_ctrl.check_budget t));
+      Alcotest.(check int) "high-water at capacity" 1 (Tcam.max_used t))
+
+(* ------------------------------------------------------------------ *)
+(* Differential: data-plane over-cover vs. control-plane cover waste   *)
+(* ------------------------------------------------------------------ *)
+
+let overcover_differential =
+  QCheck.Test.make ~name:"over_covered racks = union of cover waste" ~count:100
+    QCheck.(triple (int_bound 9999) (int_range 2 20) (int_range 1 3))
+    (fun (seed, nmembers, budget) ->
+      let f = ls48 () in
+      let eps = Fabric.endpoints f in
+      let rng = Rng.create seed in
+      let members =
+        List.init nmembers (fun _ -> eps.(Rng.int rng (Array.length eps)))
+        |> List.sort_uniq compare
+      in
+      match members with
+      | [] | [ _ ] -> QCheck.assume_fail ()
+      | source :: dests ->
+          let plan = Plan.build ~budget f ~source ~dests in
+          let from_dataplane = Dataplane.over_covered f plan in
+          let from_cover =
+            List.concat_map (fun p -> p.Plan.waste_tors) plan.Plan.packets
+            |> List.sort_uniq compare
+          in
+          from_dataplane = from_cover)
+
+(* ------------------------------------------------------------------ *)
+(* New trace events: export round-trips                                *)
+(* ------------------------------------------------------------------ *)
+
+let ctrl_trace () =
+  let t = Trace.create ~level:Trace.Full () in
+  Trace.rule_install t ~time:0.5 ~group:3 ~switch:42 ~rules:4;
+  Trace.rule_install t ~time:0.6 ~group:3 ~switch:43 ~rules:2;
+  Trace.refine t ~time:0.6 ~group:3 ~cost:9;
+  Trace.evict t ~time:1.5 ~group:3 ~switch:42;
+  t
+
+let parse_ok s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.fail ("JSON parse failed: " ^ e)
+
+let test_ctrl_event_counters () =
+  let t = ctrl_trace () in
+  let c = Trace.counters t in
+  Alcotest.(check int) "rule_installs" 2 c.Trace.rule_installs;
+  Alcotest.(check int) "refines" 1 c.Trace.refines;
+  Alcotest.(check int) "evictions" 1 c.Trace.evictions;
+  let v = parse_ok (Json.to_string (Trace.counters_to_json t)) in
+  let get k =
+    match Option.bind (Json.member k v) Json.get_num with
+    | Some x -> int_of_float x
+    | None -> Alcotest.fail ("missing counter " ^ k)
+  in
+  Alcotest.(check int) "json rule_installs" 2 (get "rule_installs");
+  Alcotest.(check int) "json refines" 1 (get "refines");
+  Alcotest.(check int) "json evictions" 1 (get "evictions")
+
+let test_ctrl_event_json_roundtrip () =
+  let t = ctrl_trace () in
+  let v = parse_ok (Json.to_string (Trace.events_to_json t)) in
+  match Json.get_arr v with
+  | None -> Alcotest.fail "events JSON is not an array"
+  | Some evs ->
+      let kind ev =
+        match Option.bind (Json.member "kind" ev) Json.get_str with
+        | Some k -> k
+        | None -> Alcotest.fail "event without kind"
+      in
+      Alcotest.(check (list string)) "kinds in emit order"
+        [ "rule_install"; "rule_install"; "refine"; "evict" ]
+        (List.map kind evs);
+      let field ev k =
+        match Option.bind (Json.member k ev) Json.get_num with
+        | Some x -> int_of_float x
+        | None -> Alcotest.fail ("missing field " ^ k)
+      in
+      (match evs with
+      | [ ri; _; rf; ev ] ->
+          Alcotest.(check int) "install group" 3 (field ri "group");
+          Alcotest.(check int) "install switch" 42 (field ri "switch");
+          Alcotest.(check int) "install rules" 4 (field ri "rules");
+          Alcotest.(check int) "refine cost" 9 (field rf "cost");
+          Alcotest.(check int) "evict switch" 42 (field ev "switch")
+      | _ -> Alcotest.fail "expected four events")
+
+let test_ctrl_event_csv () =
+  let t = ctrl_trace () in
+  let csv = Trace.events_csv t in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + one line per event" 5 (List.length lines);
+  let cols = List.length (String.split_on_char ',' Trace.csv_header) in
+  List.iter
+    (fun line ->
+      Alcotest.(check int) "column count" cols
+        (List.length (String.split_on_char ',' line)))
+    lines
+
+let test_ctrl_events_lint_clean () =
+  (* The SIM006 structural lint accepts well-formed control events. *)
+  let t = ctrl_trace () in
+  Alcotest.(check (list string)) "check_trace clean" []
+    (strings_of (Peel_check.Check_sim.check_trace t))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "peel_ctrl"
+    [
+      ( "tcam",
+        [
+          Alcotest.test_case "create validates" `Quick test_tcam_create_validates;
+          Alcotest.test_case "install/holds" `Quick test_tcam_install_and_holds;
+          Alcotest.test_case "lru eviction" `Quick test_tcam_lru_eviction;
+          Alcotest.test_case "lru recency" `Quick test_tcam_lru_recency;
+          Alcotest.test_case "bytes weighted" `Quick test_tcam_bytes_weighted;
+          Alcotest.test_case "deterministic ties" `Quick
+            test_tcam_tie_breaks_on_group_id;
+          Alcotest.test_case "remove group" `Quick test_tcam_remove_group;
+          Alcotest.test_case "high-water mark" `Quick test_tcam_max_used;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "install latency" `Quick
+            test_controller_install_latency;
+          Alcotest.test_case "stage transition" `Quick
+            test_controller_stage_transition;
+          Alcotest.test_case "no tcam" `Quick test_controller_no_tcam_stays_static;
+          Alcotest.test_case "release cancels" `Quick
+            test_controller_release_cancels_install;
+          Alcotest.test_case "duplicate admit" `Quick
+            test_controller_duplicate_admit_raises;
+          Alcotest.test_case "eviction reverts" `Quick
+            test_controller_eviction_reverts_victim;
+        ] );
+      ( "lints",
+        [
+          Alcotest.test_case "refined cover clean" `Quick
+            test_check_refined_cover_clean;
+          Alcotest.test_case "refined cover mismatch" `Quick
+            test_check_refined_cover_catches_mismatch;
+          Alcotest.test_case "budget" `Quick test_check_budget;
+          Alcotest.test_case "handoff conservation" `Quick test_check_handoff;
+          Alcotest.test_case "replay digest" `Quick test_check_replay_mismatch;
+          Alcotest.test_case "trace ordering" `Quick test_check_trace_ordering;
+        ] );
+      ( "refine",
+        [
+          Alcotest.test_case "conserves chunks" `Quick test_refine_conserves_chunks;
+          Alcotest.test_case "closes bandwidth gap" `Quick
+            test_refine_closes_bandwidth_gap;
+          Alcotest.test_case "static never refines" `Quick
+            test_refine_static_never_refines;
+          Alcotest.test_case "ipmc no overcover" `Quick test_refine_ipmc_no_overcover;
+          Alcotest.test_case "replay bit-identical" `Quick
+            test_refine_replay_bit_identical;
+          Alcotest.test_case "eviction pressure" `Quick
+            test_refine_eviction_pressure;
+        ] );
+      ("differential", [ qt overcover_differential ]);
+      ( "trace",
+        [
+          Alcotest.test_case "counters" `Quick test_ctrl_event_counters;
+          Alcotest.test_case "events json" `Quick test_ctrl_event_json_roundtrip;
+          Alcotest.test_case "events csv" `Quick test_ctrl_event_csv;
+          Alcotest.test_case "sim lint clean" `Quick test_ctrl_events_lint_clean;
+        ] );
+    ]
