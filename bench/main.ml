@@ -7,13 +7,25 @@
      dune exec bench/main.exe -- quick      # reduced trial counts
      dune exec bench/main.exe -- fig5 fig7  # selected experiments
      dune exec bench/main.exe -- micro      # Bechamel micro-benchmarks
+     dune exec bench/main.exe -- -j 4 quick # 4 worker domains
+     dune exec bench/main.exe -- guard      # drift check vs BENCH.json
 
-   Every run also writes BENCH.json (schema peel-bench/1) to the
-   invocation directory: per-experiment wall time, Bechamel ns/run per
-   algorithm, and a headline CCT comparison across the schemes. *)
+   Every run (except [guard]) also writes BENCH.json (schema
+   peel-bench/2) to the invocation directory: per-experiment wall time
+   (plus speedup against the committed baseline when comparable),
+   Bechamel ns/run per algorithm, the worker count, and a headline CCT
+   comparison across the schemes.
+
+   [guard] recomputes the deterministic sections (headline CCTs, the
+   Quick failover and refinement tables) plus a jobs=1 vs jobs=4 sweep
+   and compares them against the committed BENCH.json: any numeric
+   drift means a simulation-behaviour change and exits non-zero.  It
+   writes nothing. *)
 
 open Peel_experiments
 module Rng = Peel_util.Rng
+module Json = Peel_util.Json
+module Pool = Peel_util.Pool
 
 let experiments : (string * string * (Common.mode -> unit)) list =
   [
@@ -40,6 +52,24 @@ let experiments : (string * string * (Common.mode -> unit)) list =
 (* Bechamel micro-benchmarks: the paper's complexity claims            *)
 (* ------------------------------------------------------------------ *)
 
+let heap_priorities =
+  lazy
+    (let rng = Rng.create 13 in
+     Array.init 10_000 (fun _ -> Rng.float rng 1.0))
+
+(* 10k no-op events through a fresh engine; [traced] toggles whether
+   [Engine.schedule] pays the per-event trace bookkeeping, so the two
+   rows measure exactly what the Trace.Off fast path saves. *)
+let engine_churn ~traced () =
+  let trace =
+    if traced then Peel_sim.Trace.create ~level:Counters ()
+    else Peel_sim.Trace.null
+  in
+  let engine = Peel_sim.Engine.create ~trace () in
+  let prios = Lazy.force heap_priorities in
+  Array.iter (fun p -> Peel_sim.Engine.schedule engine p ignore) prios;
+  Peel_sim.Engine.run engine
+
 let micro_tests () =
   let open Bechamel in
   let fabric = Common.fig5_fabric () in
@@ -65,6 +95,18 @@ let micro_tests () =
     Test.make ~name:"budgeted_cover_m6_b4"
       (Staged.stage (fun () ->
            ignore (Peel_prefix.Cover.budgeted_cover ~m:6 ~budget:4 tor_targets)));
+    Test.make ~name:"heap_push_pop_10k"
+      (Staged.stage (fun () ->
+           let h = Peel_util.Pairing_heap.create () in
+           let prios = Lazy.force heap_priorities in
+           Array.iter (fun p -> Peel_util.Pairing_heap.push h p ()) prios;
+           while Peel_util.Pairing_heap.pop h <> None do
+             ()
+           done));
+    Test.make ~name:"engine_10k_events_trace_off"
+      (Staged.stage (engine_churn ~traced:false));
+    Test.make ~name:"engine_10k_events_traced"
+      (Staged.stage (engine_churn ~traced:true));
   ]
 
 (* Total extraction: every declared test element yields one row, even
@@ -125,88 +167,261 @@ let headline_ccts () =
       (Scheme.to_string scheme, s))
     Scheme.all
 
-let write_bench_json ~mode ~exp_times ~micro ~headline ~failover ~refinement
-    ~total =
-  let module Json = Peel_util.Json in
+let headline_json headline =
+  Json.Arr
+    (List.map
+       (fun (scheme, (s : Peel_util.Stats.summary)) ->
+         Json.Obj
+           [
+             ("scheme", Json.str scheme);
+             ("mean", Json.num s.Peel_util.Stats.mean);
+             ("p50", Json.num s.Peel_util.Stats.p50);
+             ("p99", Json.num s.Peel_util.Stats.p99);
+             ("max", Json.num s.Peel_util.Stats.max);
+           ])
+       headline)
+
+let mode_string = function Common.Quick -> "quick" | Common.Full -> "full"
+
+let load_baseline () =
+  if not (Sys.file_exists "BENCH.json") then None
+  else
+    let text = In_channel.with_open_text "BENCH.json" In_channel.input_all in
+    match Json.parse text with Ok doc -> Some doc | Error _ -> None
+
+(* The committed baseline is only comparable when it was produced at
+   the same trial counts. *)
+let baseline_wall_for baseline ~mode name =
+  match baseline with
+  | None -> None
+  | Some doc -> (
+      match Json.member "mode" doc with
+      | Some (Json.Str m) when m = mode_string mode -> (
+          match Option.bind (Json.member "experiments" doc) Json.get_arr with
+          | None -> None
+          | Some entries ->
+              List.find_map
+                (fun e ->
+                  match (Json.member "name" e, Json.member "wall_s" e) with
+                  | Some (Json.Str n), Some w when n = name -> Json.get_num w
+                  | _ -> None)
+                entries)
+      | _ -> None)
+
+let write_bench_json ~mode ~baseline ~exp_times ~micro ~headline ~failover
+    ~refinement ~total =
   let opt_num = function Some x -> Json.num x | None -> Json.Null in
+  let experiment_entry (name, wall) =
+    let speedup =
+      match baseline_wall_for baseline ~mode name with
+      | Some base when wall > 0.0 -> [ ("speedup_vs_baseline", Json.num (base /. wall)) ]
+      | _ -> []
+    in
+    Json.Obj
+      ([ ("name", Json.str name); ("wall_s", Json.num wall) ] @ speedup)
+  in
+  let baseline_total =
+    match baseline with
+    | Some doc
+      when Json.member "mode" doc = Some (Json.Str (mode_string mode)) ->
+        Option.bind (Json.member "total_wall_s" doc) Json.get_num
+    | _ -> None
+  in
   let doc =
     Json.Obj
-      [
-        ("schema", Json.str "peel-bench/1");
-        ( "mode",
-          Json.str (match mode with Common.Quick -> "quick" | Common.Full -> "full")
-        );
-        ( "experiments",
-          Json.Arr
-            (List.map
-               (fun (name, wall) ->
-                 Json.Obj [ ("name", Json.str name); ("wall_s", Json.num wall) ])
-               exp_times) );
-        ( "micro_ns_per_run",
-          Json.Obj (List.map (fun (name, ns) -> (name, opt_num ns)) micro) );
-        ( "headline_cct",
-          Json.Arr
-            (List.map
-               (fun (scheme, (s : Peel_util.Stats.summary)) ->
-                 Json.Obj
-                   [
-                     ("scheme", Json.str scheme);
-                     ("mean", Json.num s.Peel_util.Stats.mean);
-                     ("p50", Json.num s.Peel_util.Stats.p50);
-                     ("p99", Json.num s.Peel_util.Stats.p99);
-                     ("max", Json.num s.Peel_util.Stats.max);
-                   ])
-               headline) );
-        ("failover_degradation", failover);
-        ("refinement", refinement);
-        ("total_wall_s", Json.num total);
-      ]
+      ([
+         ("schema", Json.str "peel-bench/2");
+         ("mode", Json.str (mode_string mode));
+         ("jobs", Json.int (Pool.default_jobs ()));
+         ("experiments", Json.Arr (List.map experiment_entry exp_times));
+         ( "micro_ns_per_run",
+           Json.Obj (List.map (fun (name, ns) -> (name, opt_num ns)) micro) );
+         ("headline_cct", headline_json headline);
+         ("failover_degradation", failover);
+         ("refinement", refinement);
+         ("total_wall_s", Json.num total);
+       ]
+      @
+      match baseline_total with
+      | Some t -> [ ("baseline_total_wall_s", Json.num t) ]
+      | None -> [])
   in
   Out_channel.with_open_text "BENCH.json" (fun oc ->
       Out_channel.output_string oc (Json.to_string doc);
       Out_channel.output_char oc '\n')
 
+(* ------------------------------------------------------------------ *)
+(* guard: recompute the deterministic sections and diff the baseline   *)
+(* ------------------------------------------------------------------ *)
+
+(* Tolerance for float round-trips through the JSON writer; the
+   simulation itself is bit-deterministic, so any genuine behaviour
+   change drifts far beyond this. *)
+let guard_tol = 1e-9
+
+let rec json_drift path a b =
+  match (a, b) with
+  | Json.Null, Json.Null -> []
+  | Json.Bool x, Json.Bool y when x = y -> []
+  | Json.Str x, Json.Str y when x = y -> []
+  | Json.Num x, Json.Num y ->
+      let scale = Float.max 1.0 (Float.max (Float.abs x) (Float.abs y)) in
+      if Float.abs (x -. y) <= guard_tol *. scale then []
+      else [ Printf.sprintf "%s: committed %.17g, recomputed %.17g" path x y ]
+  | Json.Arr xs, Json.Arr ys ->
+      if List.length xs <> List.length ys then
+        [
+          Printf.sprintf "%s: committed %d entries, recomputed %d" path
+            (List.length xs) (List.length ys);
+        ]
+      else
+        List.concat
+          (List.mapi
+             (fun i (x, y) -> json_drift (Printf.sprintf "%s[%d]" path i) x y)
+             (List.combine xs ys))
+  | Json.Obj xs, Json.Obj ys ->
+      if List.map fst xs <> List.map fst ys then
+        [ Printf.sprintf "%s: object keys differ" path ]
+      else
+        List.concat
+          (List.map2
+             (fun (k, x) (_, y) -> json_drift (path ^ "." ^ k) x y)
+             xs ys)
+  | _ -> [ Printf.sprintf "%s: JSON kinds differ" path ]
+
+let guard_section name committed recomputed =
+  match committed with
+  | None ->
+      Printf.printf "  %-22s MISSING in committed BENCH.json\n" name;
+      1
+  | Some c -> (
+      match json_drift name c recomputed with
+      | [] ->
+          Printf.printf "  %-22s ok\n" name;
+          0
+      | drifts ->
+          Printf.printf "  %-22s DRIFT (%d value(s)):\n" name
+            (List.length drifts);
+          List.iter (fun d -> Printf.printf "    %s\n" d) drifts;
+          1)
+
+(* A small fig5 sweep under 1 and 4 workers; the parallel fan-out
+   contract says the rows must match exactly. *)
+let guard_jobs_determinism () =
+  let sweep jobs =
+    Pool.set_default_jobs jobs;
+    Exp_fig5.compute ~scales:64 Common.Quick [ 2.; 32. ]
+  in
+  let r1 = sweep 1 in
+  let r4 = sweep 4 in
+  Pool.set_default_jobs 1;
+  if r1 = r4 then begin
+    Printf.printf "  %-22s ok\n" "jobs 1 vs 4";
+    0
+  end
+  else begin
+    Printf.printf "  %-22s DRIFT: jobs=1 and jobs=4 rows differ\n"
+      "jobs 1 vs 4";
+    1
+  end
+
+let run_guard () =
+  match load_baseline () with
+  | None ->
+      prerr_endline
+        "bench guard: no parseable BENCH.json in the current directory";
+      exit 2
+  | Some doc ->
+      Printf.printf "bench guard: recomputing deterministic sections\n";
+      let headline =
+        guard_section "headline_cct"
+          (Json.member "headline_cct" doc)
+          (headline_json (headline_ccts ()))
+      in
+      let failover =
+        guard_section "failover_degradation"
+          (Json.member "failover_degradation" doc)
+          (Exp_failover.rows_json Common.Quick)
+      in
+      let refinement =
+        guard_section "refinement"
+          (Json.member "refinement" doc)
+          (Exp_refine.rows_json Common.Quick)
+      in
+      let failures = headline + failover + refinement + guard_jobs_determinism () in
+      if failures > 0 then begin
+        Printf.printf
+          "bench guard: %d section(s) drifted from the committed BENCH.json\n"
+          failures;
+        exit 1
+      end;
+      Printf.printf "bench guard: all sections match the committed BENCH.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let quick = List.mem "quick" args in
-  let mode = if quick then Common.Quick else Common.Full in
-  let exp_names = List.map (fun (n, _, _) -> n) experiments in
-  let selections = List.filter (fun a -> a <> "quick") args in
-  let unknown =
-    List.filter (fun a -> a <> "micro" && a <> "all" && not (List.mem a exp_names))
-      selections
+  let rec split_jobs acc = function
+    | [] -> (List.rev acc, None)
+    | ("--jobs" | "-j") :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> (List.rev_append acc rest, Some n)
+        | _ ->
+            Printf.eprintf "bad --jobs value: %s (want a positive integer)\n" v;
+            exit 2)
+    | [ ("--jobs" | "-j") ] ->
+        prerr_endline "--jobs needs a value";
+        exit 2
+    | a :: rest -> split_jobs (a :: acc) rest
   in
-  if unknown <> [] then begin
-    Printf.eprintf "unknown experiment(s): %s\navailable: %s micro all quick\n"
-      (String.concat " " unknown)
-      (String.concat " " exp_names);
-    exit 2
-  end;
-  let run_all = selections = [] || List.mem "all" selections in
-  let wanted name = run_all || List.mem name selections in
-  let t0 = Unix.gettimeofday () in
-  Printf.printf "PEEL benchmark harness (%s mode)\n"
-    (match mode with Common.Quick -> "quick" | Common.Full -> "full");
-  let exp_times =
-    List.filter_map
-      (fun (name, _desc, f) ->
-        if wanted name then begin
-          let t = Unix.gettimeofday () in
-          f mode;
-          Some (name, Unix.gettimeofday () -. t)
-        end
-        else None)
-      experiments
-  in
-  let micro =
-    if run_all || List.mem "micro" selections then run_micro () else []
-  in
-  let headline = headline_ccts () in
-  (* Always at Quick scale: a deterministic CCT-degradation record for
-     PEEL and the baselines, regardless of which experiments ran. *)
-  let failover = Exp_failover.rows_json Common.Quick in
-  let refinement = Exp_refine.rows_json Common.Quick in
-  let total = Unix.gettimeofday () -. t0 in
-  write_bench_json ~mode ~exp_times ~micro ~headline ~failover ~refinement
-    ~total;
-  Printf.printf "\ntotal wall time: %.1f s (BENCH.json written)\n" total
+  let args, jobs = split_jobs [] (List.tl (Array.to_list Sys.argv)) in
+  Option.iter Pool.set_default_jobs jobs;
+  if args = [ "guard" ] then run_guard ()
+  else begin
+    let quick = List.mem "quick" args in
+    let mode = if quick then Common.Quick else Common.Full in
+    let exp_names = List.map (fun (n, _, _) -> n) experiments in
+    let selections = List.filter (fun a -> a <> "quick") args in
+    let unknown =
+      List.filter
+        (fun a -> a <> "micro" && a <> "all" && not (List.mem a exp_names))
+        selections
+    in
+    if unknown <> [] then begin
+      Printf.eprintf "unknown experiment(s): %s\navailable: %s micro all quick guard\n"
+        (String.concat " " unknown)
+        (String.concat " " exp_names);
+      exit 2
+    end;
+    let run_all = selections = [] || List.mem "all" selections in
+    let wanted name = run_all || List.mem name selections in
+    let baseline = load_baseline () in
+    let t0 = Unix.gettimeofday () in
+    Printf.printf "PEEL benchmark harness (%s mode, %d worker%s)\n"
+      (mode_string mode) (Pool.default_jobs ())
+      (if Pool.default_jobs () = 1 then "" else "s");
+    let exp_times =
+      List.filter_map
+        (fun (name, _desc, f) ->
+          if wanted name then begin
+            let t = Unix.gettimeofday () in
+            f mode;
+            Some (name, Unix.gettimeofday () -. t)
+          end
+          else None)
+        experiments
+    in
+    let micro =
+      if run_all || List.mem "micro" selections then run_micro () else []
+    in
+    let headline = headline_ccts () in
+    (* Always at Quick scale: a deterministic CCT-degradation record for
+       PEEL and the baselines, regardless of which experiments ran. *)
+    let failover = Exp_failover.rows_json Common.Quick in
+    let refinement = Exp_refine.rows_json Common.Quick in
+    let total = Unix.gettimeofday () -. t0 in
+    write_bench_json ~mode ~baseline ~exp_times ~micro ~headline ~failover
+      ~refinement ~total;
+    Printf.printf "\ntotal wall time: %.1f s (BENCH.json written)\n" total
+  end

@@ -63,6 +63,17 @@ let fabric_term =
 let seed_term =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (reproducible).")
 
+let jobs_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel sweeps (default: \\$(b,PEEL_JOBS) or \
+           the hardware count).  Results are bit-identical for any value.")
+
+let apply_jobs jobs = Option.iter Peel_util.Pool.set_default_jobs jobs
+
 let scale_term =
   Arg.(value & opt int 64 & info [ "scale" ] ~doc:"Collective size in GPUs.")
 
@@ -228,11 +239,14 @@ let simulate_cmd =
   let n =
     Arg.(value & opt int 40 & info [ "n" ] ~doc:"Number of collectives.")
   in
-  let run fabric seed scale schemes size_mb load n =
+  let run fabric seed scale schemes size_mb load n jobs =
+    apply_jobs jobs;
     Printf.printf "fabric: %s; %d collectives of %d GPUs x %.0f MB at %.0f%% load\n\n"
       (Fabric.describe fabric) n scale size_mb (load *. 100.0);
+    (* One worker cell per scheme: each regenerates the workload from
+       the seed and shares the fabric read-only. *)
     let rows =
-      List.map
+      Peel_util.Pool.par_map
         (fun scheme ->
           let cs =
             Spec.poisson_broadcasts fabric (Rng.create seed) ~n ~scale
@@ -252,7 +266,8 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate Broadcast workloads.")
     Term.(
-      const run $ fabric_term $ seed_term $ scale_term $ scheme $ size_mb $ load $ n)
+      const run $ fabric_term $ seed_term $ scale_term $ scheme $ size_mb $ load
+      $ n $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -928,13 +943,14 @@ let experiment_cmd =
       & info [] ~docv:"NAME")
   in
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced trials.") in
-  let run exp_name quick =
+  let run exp_name quick jobs =
+    apply_jobs jobs;
     let mode = if quick then Common.Quick else Common.Full in
     (List.assoc exp_name exps) mode
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper table/figure by name.")
-    Term.(const run $ exp_name $ quick)
+    Term.(const run $ exp_name $ quick $ jobs_term)
 
 let () =
   let info =

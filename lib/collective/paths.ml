@@ -4,9 +4,29 @@ type t = {
   fabric : Fabric.t;
   ecmp : bool;
   cache : (int * int, int list) Hashtbl.t;
+  dist_cache : (int, int array) Hashtbl.t;
+      (* Per-source BFS distance arrays.  A tree-shaped broadcast asks
+         for thousands of distinct (src, dst) pairs but only tens of
+         distinct sources; without this cache every path-cache miss
+         re-runs a full-fabric BFS, which dominates the simulator's
+         allocation and wall time at scale. *)
 }
 
-let create ?(ecmp = true) fabric = { fabric; ecmp; cache = Hashtbl.create 4096 }
+let create ?(ecmp = true) fabric =
+  {
+    fabric;
+    ecmp;
+    cache = Hashtbl.create 4096;
+    dist_cache = Hashtbl.create 64;
+  }
+
+let dist_from t g src =
+  match Hashtbl.find_opt t.dist_cache src with
+  | Some d -> d
+  | None ->
+      let d = Graph.bfs_dist g src in
+      Hashtbl.replace t.dist_cache src d;
+      d
 
 let same_server fabric a b =
   let g = Fabric.graph fabric in
@@ -24,9 +44,10 @@ let compute t a b =
     else begin
       (* Hash-diverse equal-cost path, as flow-level ECMP would pick;
          without ECMP every flow funnels onto the lowest-id path. *)
+      let dist = dist_from t g a in
       let path =
-        if t.ecmp then Graph.shortest_path_ecmp g a b ~salt:0
-        else Graph.shortest_path g a b
+        if t.ecmp then Graph.shortest_path_ecmp_from_dist g ~dist a b ~salt:0
+        else Graph.shortest_path_from_dist g ~dist a b
       in
       match path with
       | Some p -> p
@@ -45,4 +66,6 @@ let links t a b =
         Hashtbl.replace t.cache (a, b) l;
         l
 
-let invalidate t = Hashtbl.reset t.cache
+let invalidate t =
+  Hashtbl.reset t.cache;
+  Hashtbl.reset t.dist_cache

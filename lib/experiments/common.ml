@@ -5,6 +5,8 @@ type mode = Quick | Full
 let trials mode ~full =
   match mode with Full -> full | Quick -> max 4 (full / 8)
 
+let par_trials f cells = Peel_util.Pool.par_map f cells
+
 let fig5_fabric () = Fabric.fat_tree ~k:8 ~hosts_per_tor:4 ~gpus_per_host:8 ()
 
 let fig7_fabric () =

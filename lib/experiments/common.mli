@@ -8,6 +8,14 @@ type mode = Quick | Full
 val trials : mode -> full:int -> int
 (** [full] trials in [Full] mode, a small fraction (>= 4) in [Quick]. *)
 
+val par_trials : ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map over independent experiment cells —
+    [Peel_util.Pool.par_map] under the default worker count ([--jobs] /
+    [PEEL_JOBS]).  Cells must be self-contained: own [Rng] seeded per
+    cell, no mutation of shared state (a shared fabric is fine as long
+    as no cell fails/recovers links).  Results are bit-identical to the
+    sequential [List.map] for any worker count. *)
+
 val fig5_fabric : unit -> Fabric.t
 (** The paper's §4 fat-tree: 8-ary, 4 servers/ToR, 8 GPUs/server
     (1024 GPUs), 100 Gbps links, 900 GB/s NVLink. *)

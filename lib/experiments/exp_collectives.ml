@@ -28,20 +28,26 @@ let compute mode =
     let s = Peel_collective.Runner.summarize out in
     (s.Peel_util.Stats.mean, s.Peel_util.Stats.p99)
   in
+  let variants =
+    [
+      ("allgather", "ring", fun cs -> Allgather.run f Allgather.Ring_exchange cs);
+      ("allgather", "peel", fun cs -> Allgather.run f Allgather.Peel_multicast cs);
+      ("reduce", "ring", fun cs -> Reduce.run f Reduce.Ring_pass cs);
+      ("reduce", "tree", fun cs -> Reduce.run f Reduce.Btree_reduce cs);
+      ("allreduce", "ring", fun cs -> Allreduce.run f Allreduce.Ring_rs_ag cs);
+      ( "allreduce",
+        "reduce+peel",
+        fun cs -> Allreduce.run f Allreduce.Reduce_then_peel cs );
+    ]
+  in
   List.concat_map
     (fun size_mb ->
-      let cs = workload (Common.mb size_mb) in
-      let mk op algo (mean, p99) = { op; algo; size_mb; mean; p99 } in
-      [
-        mk "allgather" "ring" (summary (Allgather.run f Allgather.Ring_exchange cs));
-        mk "allgather" "peel" (summary (Allgather.run f Allgather.Peel_multicast cs));
-        mk "reduce" "ring" (summary (Reduce.run f Reduce.Ring_pass cs));
-        mk "reduce" "tree" (summary (Reduce.run f Reduce.Btree_reduce cs));
-        mk "allreduce" "ring" (summary (Allreduce.run f Allreduce.Ring_rs_ag cs));
-        mk "allreduce" "reduce+peel"
-          (summary (Allreduce.run f Allreduce.Reduce_then_peel cs));
-      ])
+      List.map (fun (op, algo, go) -> (size_mb, op, algo, go)) variants)
     (sizes mode)
+  |> Common.par_trials (fun (size_mb, op, algo, go) ->
+         let cs = workload (Common.mb size_mb) in
+         let mean, p99 = summary (go cs) in
+         { op; algo; size_mb; mean; p99 })
 
 let run mode =
   Common.banner "E11 (ext): PEEL inside allgather / reduce / allreduce";

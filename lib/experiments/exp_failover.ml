@@ -46,15 +46,22 @@ let sweep mode =
   | Common.Full -> ([ 0.1; 0.3; 0.5; 0.7; 0.9 ], [ 0.5e-3; 2e-3; 8e-3 ])
 
 let rows mode =
-  let fabric = fabric () in
-  let spec = spec_for fabric in
-  let ids = failure_draw fabric in
   let fail_ats, reactions = sweep mode in
-  List.concat_map
-    (fun scheme ->
-      let clean =
-        List.hd (Failover.run fabric scheme [ spec ]).Runner.ccts
-      in
+  (* Failover cells inject faults (they flip link state on their
+     fabric), so the fan-out is per scheme and every cell rebuilds its
+     own fabric; placement and failure draws are re-derived from the
+     same fixed seeds, so each cell sees the sequential sweep's exact
+     spec and link ids.  The inner fail_at x reaction grid stays
+     sequential within a cell — it reuses the cell's fabric. *)
+  List.concat
+    (Common.par_trials
+       (fun scheme ->
+         let fabric = fabric () in
+         let spec = spec_for fabric in
+         let ids = failure_draw fabric in
+         let clean =
+           List.hd (Failover.run fabric scheme [ spec ]).Runner.ccts
+         in
       List.concat_map
         (fun fail_at ->
           List.map
@@ -83,7 +90,7 @@ let rows mode =
               })
             reactions)
         fail_ats)
-    Failover.all_schemes
+       Failover.all_schemes)
 
 let rows_json mode =
   Json.Arr

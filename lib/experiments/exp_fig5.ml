@@ -12,18 +12,19 @@ type row = {
 let compute ?(scales = 512) ?(load = 0.3) mode sizes_mb =
   let fabric = Common.fig5_fabric () in
   let n = Common.trials mode ~full:60 in
+  (* One cell per (size, scheme): each regenerates its workload from a
+     fixed seed and never mutates the shared fabric, so the fan-out is
+     bit-identical to the sequential sweep. *)
   List.concat_map
-    (fun size_mb ->
-      List.map
-        (fun scheme ->
-          let cs =
-            Spec.poisson_broadcasts fabric (Rng.create 100) ~n ~scale:scales
-              ~bytes:(Common.mb size_mb) ~load ()
-          in
-          let s = Common.summarize_run fabric scheme cs in
-          { size_mb; scheme; mean = s.Peel_util.Stats.mean; p99 = s.Peel_util.Stats.p99 })
-        Scheme.all)
+    (fun size_mb -> List.map (fun scheme -> (size_mb, scheme)) Scheme.all)
     sizes_mb
+  |> Common.par_trials (fun (size_mb, scheme) ->
+         let cs =
+           Spec.poisson_broadcasts fabric (Rng.create 100) ~n ~scale:scales
+             ~bytes:(Common.mb size_mb) ~load ()
+         in
+         let s = Common.summarize_run fabric scheme cs in
+         { size_mb; scheme; mean = s.Peel_util.Stats.mean; p99 = s.Peel_util.Stats.p99 })
 
 let print_rows rows sizes =
   let find size scheme =

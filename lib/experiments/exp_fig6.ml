@@ -13,17 +13,15 @@ let compute mode scales =
   let fabric = Common.fig5_fabric () in
   let n = Common.trials mode ~full:60 in
   List.concat_map
-    (fun scale ->
-      List.map
-        (fun scheme ->
-          let cs =
-            Spec.poisson_broadcasts fabric (Rng.create 100) ~n ~scale
-              ~bytes:(Common.mb 64.) ~load:0.3 ()
-          in
-          let s = Common.summarize_run fabric scheme cs in
-          { scale; scheme; mean = s.Peel_util.Stats.mean; p99 = s.Peel_util.Stats.p99 })
-        Scheme.all)
+    (fun scale -> List.map (fun scheme -> (scale, scheme)) Scheme.all)
     scales
+  |> Common.par_trials (fun (scale, scheme) ->
+         let cs =
+           Spec.poisson_broadcasts fabric (Rng.create 100) ~n ~scale
+             ~bytes:(Common.mb 64.) ~load:0.3 ()
+         in
+         let s = Common.summarize_run fabric scheme cs in
+         { scale; scheme; mean = s.Peel_util.Stats.mean; p99 = s.Peel_util.Stats.p99 })
 
 let scales_for mode =
   match mode with

@@ -18,40 +18,41 @@ let schemes = [ Scheme.Ring; Scheme.Btree; Scheme.Peel ]
 let per_draw = 10
 
 let compute mode pcts =
-  let fabric = Common.fig7_fabric () in
-  let g = Fabric.graph fabric in
   let draws = Common.trials mode ~full:12 in
+  (* Failure cells mutate link state ([fail_random] / [restore_all]),
+     so — unlike the other sweeps — each cell builds its own fabric.
+     The per-cell rng seed depends only on the failure level, so the
+     draws are the ones the sequential sweep made. *)
   List.concat_map
-    (fun failure_pct ->
-      List.map
-        (fun scheme ->
-          let rng = Rng.create (1000 + failure_pct) in
-          let ccts =
-            List.concat
-              (List.init draws (fun _ ->
-                   Graph.restore_all g;
-                   let _ =
-                     Fabric.fail_random fabric ~rng ~tier:`All
-                       ~fraction:(float_of_int failure_pct /. 100.0)
-                       ()
-                   in
-                   let cs =
-                     Spec.poisson_broadcasts fabric rng ~n:per_draw ~scale:64
-                       ~bytes:(Common.mb 8.) ~load:0.5 ()
-                   in
-                   let out = Peel_collective.Runner.run fabric scheme cs in
-                   out.Peel_collective.Runner.ccts))
-          in
-          Graph.restore_all g;
-          let s = Peel_util.Stats.summarize ccts in
-          {
-            failure_pct;
-            scheme;
-            mean = s.Peel_util.Stats.mean;
-            p99 = s.Peel_util.Stats.p99;
-          })
-        schemes)
+    (fun failure_pct -> List.map (fun scheme -> (failure_pct, scheme)) schemes)
     pcts
+  |> Common.par_trials (fun (failure_pct, scheme) ->
+         let fabric = Common.fig7_fabric () in
+         let g = Fabric.graph fabric in
+         let rng = Rng.create (1000 + failure_pct) in
+         let ccts =
+           List.concat
+             (List.init draws (fun _ ->
+                  Graph.restore_all g;
+                  let _ =
+                    Fabric.fail_random fabric ~rng ~tier:`All
+                      ~fraction:(float_of_int failure_pct /. 100.0)
+                      ()
+                  in
+                  let cs =
+                    Spec.poisson_broadcasts fabric rng ~n:per_draw ~scale:64
+                      ~bytes:(Common.mb 8.) ~load:0.5 ()
+                  in
+                  let out = Peel_collective.Runner.run fabric scheme cs in
+                  out.Peel_collective.Runner.ccts))
+         in
+         let s = Peel_util.Stats.summarize ccts in
+         {
+           failure_pct;
+           scheme;
+           mean = s.Peel_util.Stats.mean;
+           p99 = s.Peel_util.Stats.p99;
+         })
 
 let run mode =
   Common.banner "E6 / Figure 7: robustness to failures (asymmetric leaf-spine)";

@@ -17,33 +17,34 @@ let workload fabric mode =
 let compute_striping mode =
   let fabric = Common.fig5_fabric () in
   let cs = workload fabric mode in
-  let row ?(ecmp = true) ?suffix scheme =
-    let out = Runner.run ~ecmp fabric scheme cs in
-    let s = Runner.summarize out in
-    {
-      label = Scheme.to_string scheme ^ Option.value suffix ~default:"";
-      mean = s.Peel_util.Stats.mean;
-      p99 = s.Peel_util.Stats.p99;
-      max_link_utilization = Peel_sim.Telemetry.max_utilization out.Runner.telemetry;
-    }
-  in
+  (* (ecmp, suffix, scheme) cells; the workload is immutable and shared. *)
   [
-    row Scheme.Peel;
-    row (Scheme.Peel_multitree 2);
-    row (Scheme.Peel_multitree 4);
-    row (Scheme.Peel_multitree 8);
-    row Scheme.Dbtree;
-    row Scheme.Ring;
+    (true, "", Scheme.Peel);
+    (true, "", Scheme.Peel_multitree 2);
+    (true, "", Scheme.Peel_multitree 4);
+    (true, "", Scheme.Peel_multitree 8);
+    (true, "", Scheme.Dbtree);
+    (true, "", Scheme.Ring);
     (* The unicast side of the same tension: without per-flow ECMP,
        every cross-pod flow funnels onto the lowest-id core path — the
        tree schedules, whose logical edges criss-cross pods, collapse. *)
-    row ~ecmp:false ~suffix:" (no ecmp)" Scheme.Dbtree;
+    (false, " (no ecmp)", Scheme.Dbtree);
   ]
+  |> Common.par_trials (fun (ecmp, suffix, scheme) ->
+         let out = Runner.run ~ecmp fabric scheme cs in
+         let s = Runner.summarize out in
+         {
+           label = Scheme.to_string scheme ^ suffix;
+           mean = s.Peel_util.Stats.mean;
+           p99 = s.Peel_util.Stats.p99;
+           max_link_utilization =
+             Peel_sim.Telemetry.max_utilization out.Runner.telemetry;
+         })
 
 let compute_chunks mode =
   let fabric = Common.fig5_fabric () in
   let cs = workload fabric mode in
-  List.map
+  Common.par_trials
     (fun chunks ->
       let s = Runner.summarize (Runner.run ~chunks fabric Scheme.Peel cs) in
       (chunks, s.Peel_util.Stats.mean, s.Peel_util.Stats.p99))

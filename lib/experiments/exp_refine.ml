@@ -64,27 +64,28 @@ let rows mode =
   let cfg_for rpc capacity =
     { Controller.default_config with Controller.rpc; per_rule; capacity }
   in
-  let static_row =
-    let r = run_one fabric groups Refine.Peel_static (cfg_for 0.0 1) in
-    { r with rpc = nan; capacity = 0 }
+  (* Scheme-config cell descriptors, in output order; [Refine.run]
+     builds all controller/simulator state per call, so cells share only
+     the fabric and the immutable group specs. *)
+  let cells =
+    (`Static
+      :: List.concat_map
+           (fun rpc -> List.map (fun cap -> `Refined (rpc, cap)) capacities)
+           rpcs)
+    @ List.map (fun rpc -> `Ipmc rpc) rpcs
   in
-  let refined_rows =
-    List.concat_map
-      (fun rpc ->
-        List.map
-          (fun capacity ->
-            run_one fabric groups Refine.Peel_refined (cfg_for rpc capacity))
-          capacities)
-      rpcs
-  in
-  let ipmc_rows =
-    List.map
-      (fun rpc ->
-        let r = run_one fabric groups Refine.Ipmc (cfg_for rpc 1) in
-        { r with capacity = 0 })
-      rpcs
-  in
-  (static_row :: refined_rows) @ ipmc_rows
+  Common.par_trials
+    (fun cell ->
+      match cell with
+      | `Static ->
+          let r = run_one fabric groups Refine.Peel_static (cfg_for 0.0 1) in
+          { r with rpc = nan; capacity = 0 }
+      | `Refined (rpc, capacity) ->
+          run_one fabric groups Refine.Peel_refined (cfg_for rpc capacity)
+      | `Ipmc rpc ->
+          let r = run_one fabric groups Refine.Ipmc (cfg_for rpc 1) in
+          { r with capacity = 0 })
+    cells
 
 let rows_json mode =
   Json.Arr

@@ -15,10 +15,8 @@ let compute mode =
   let fabric = Common.fig5_fabric () in
   let g = Fabric.graph fabric in
   let peel_entries = Peel.switch_rules fabric in
-  let counts = Array.make (Graph.num_nodes g) 0 in
-  let rng = Rng.create 1400 in
   let group_sizes = [ 16; 32; 64; 128; 256 ] in
-  let add_group () =
+  let add_group rng counts =
     let scale = List.nth group_sizes (Rng.int rng (List.length group_sizes)) in
     let members = Spec.place fabric rng ~scale () in
     let source = List.hd members in
@@ -36,12 +34,16 @@ let compute mode =
   let checkpoints =
     List.filter (fun c -> c <= max_groups) [ 1; 10; 100; 1000; 10000 ]
   in
-  let installed = ref 0 in
-  List.map
+  (* Each checkpoint cell replays groups 1..checkpoint from the same
+     seed: the rng stream prefix is shared, so every cell installs
+     exactly the groups the cumulative sequential walk had installed —
+     at the cost of redoing the (cheap) earlier installs per cell. *)
+  Common.par_trials
     (fun groups ->
-      while !installed < groups do
-        add_group ();
-        incr installed
+      let counts = Array.make (Graph.num_nodes g) 0 in
+      let rng = Rng.create 1400 in
+      for _ = 1 to groups do
+        add_group rng counts
       done;
       let ipmc_max_entries = Array.fold_left max 0 counts in
       {

@@ -5,10 +5,21 @@ type t = {
   q : (unit -> unit) Heap.t;
   mutable processed : int;
   trace : Trace.t;
+  traced : bool;
+      (* [Trace.enabled trace], latched at creation: [schedule] is the
+         hottest call in the simulator, and with tracing off it must do
+         no trace work at all — not even the [Heap.length] read that
+         feeds the queue-depth high-water mark. *)
 }
 
 let create ?(trace = Trace.null) () =
-  { now = 0.0; q = Heap.create (); processed = 0; trace }
+  {
+    now = 0.0;
+    q = Heap.create ();
+    processed = 0;
+    trace;
+    traced = Trace.enabled trace;
+  }
 
 let now t = t.now
 
@@ -17,7 +28,7 @@ let schedule t at f =
     invalid_arg
       (Printf.sprintf "Engine.schedule: time %.9f is before now %.9f" at t.now);
   Heap.push t.q at f;
-  Trace.note_pending t.trace (Heap.length t.q)
+  if t.traced then Trace.note_pending t.trace (Heap.length t.q)
 
 let schedule_in t dt f = schedule t (t.now +. dt) f
 
@@ -37,7 +48,7 @@ let run ?until t =
         loop ()
   in
   loop ();
-  Trace.note_engine t.trace ~events:t.processed
+  if t.traced then Trace.note_engine t.trace ~events:t.processed
 
 let pending t = Heap.length t.q
 let events_processed t = t.processed

@@ -157,10 +157,9 @@ let hop_layers t src =
   done;
   layers
 
-let shortest_path t src dst =
+let shortest_path_from_dist t ~dist src dst =
   let n = num_nodes t in
   if dst < 0 || dst >= n then invalid_arg "Graph.shortest_path: bad destination";
-  let dist = bfs_dist t src in
   if dist.(dst) = unreachable then None
   else begin
     (* Walk back from [dst], always taking the lowest-id predecessor at
@@ -182,6 +181,9 @@ let shortest_path t src dst =
     Some (back dst [])
   end
 
+let shortest_path t src dst =
+  shortest_path_from_dist t ~dist:(bfs_dist t src) src dst
+
 (* SplitMix64-style finalizer over a few ints, for ECMP hashing. *)
 let mix_ints ints =
   let mix64 z =
@@ -196,10 +198,9 @@ let mix_ints ints =
   in
   Int64.to_int (Int64.shift_right_logical h 1) land max_int
 
-let shortest_path_ecmp t src dst ~salt =
+let shortest_path_ecmp_from_dist t ~dist src dst ~salt =
   let n = num_nodes t in
   if dst < 0 || dst >= n then invalid_arg "Graph.shortest_path_ecmp: bad destination";
-  let dist = bfs_dist t src in
   if dist.(dst) = unreachable then None
   else begin
     let rec back v acc =
@@ -221,6 +222,9 @@ let shortest_path_ecmp t src dst ~salt =
     in
     Some (back dst [])
   end
+
+let shortest_path_ecmp t src dst ~salt =
+  shortest_path_ecmp_from_dist t ~dist:(bfs_dist t src) src dst ~salt
 
 let connected t nodes =
   match nodes with

@@ -120,5 +120,16 @@ val shortest_path_ecmp : t -> int -> int -> salt:int -> int list option
     ECMP provides in a real Clos.  Deterministic for a given
     (src, dst, salt). *)
 
+val shortest_path_from_dist : t -> dist:int array -> int -> int -> int list option
+(** [shortest_path] given a precomputed [bfs_dist t src] array, letting
+    callers amortise the BFS over every destination sharing a source.
+    The array must come from [bfs_dist] on the current link state —
+    stale distances give wrong (or crashing) walks. *)
+
+val shortest_path_ecmp_from_dist :
+  t -> dist:int array -> int -> int -> salt:int -> int list option
+(** [shortest_path_ecmp] given a precomputed [bfs_dist t src] array;
+    same contract (and same path picks) as the BFS-per-call form. *)
+
 val connected : t -> int list -> bool
 (** Whether all listed nodes are mutually reachable over up links. *)

@@ -5,8 +5,11 @@
 # (SIM005/SIM006), the @failover-smoke alias lints mid-run failure
 # injection with re-peeling (SIM007/TREE006), the @ctrl-smoke alias
 # lints the two-stage refinement control plane (CTRL001-005), and the
-# unit suite exercises every diagnostic code. When odoc is installed
-# the documentation gate (scripts/docs.sh) must also pass.
+# unit suite exercises every diagnostic code. The experiment-harness
+# suite carries the parallel-sweep determinism gate: it re-runs the
+# fig5 sweep under 1 and 4 worker domains and fails unless the rows
+# are bit-identical. When odoc is installed the documentation gate
+# (scripts/docs.sh) must also pass.
 # Exits non-zero on the first violated invariant.
 set -eu
 cd "$(dirname "$0")/.."
@@ -15,6 +18,7 @@ dune build @trace-smoke
 dune build @failover-smoke
 dune build @ctrl-smoke
 dune exec test/test_check.exe -- -c
+dune exec test/test_experiments.exe -- -c
 if command -v odoc >/dev/null 2>&1; then
   sh scripts/docs.sh
 else

@@ -85,6 +85,27 @@ let test_trials_scaling () =
   Alcotest.(check int) "quick" 5 (Common.trials Common.Quick ~full:40);
   Alcotest.(check int) "quick floor" 4 (Common.trials Common.Quick ~full:8)
 
+(* Parallel sweep determinism: the fig5 sweep fanned out over 4 worker
+   domains must produce the exact rows of the sequential (jobs = 1)
+   sweep — same order, bit-equal floats. *)
+
+let test_fig5_jobs_deterministic () =
+  let sweep jobs =
+    Peel_util.Pool.set_default_jobs jobs;
+    Exp_fig5.compute ~scales:64 Common.Quick [ 2.; 32. ]
+  in
+  let seq = sweep 1 in
+  let par = sweep 4 in
+  Peel_util.Pool.set_default_jobs 1;
+  Alcotest.(check int) "row count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Exp_fig5.row) (b : Exp_fig5.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "row %.0fMB/%s bit-equal" a.Exp_fig5.size_mb
+           (Peel_collective.Scheme.to_string a.Exp_fig5.scheme))
+        true (a = b))
+    seq par
+
 (* Micro-benchmark table formatting: total over its input — a missing
    or non-finite estimate must still yield a row, never drop one. *)
 
@@ -119,6 +140,8 @@ let () =
           Alcotest.test_case "approx bandwidth" `Quick test_approx_bandwidth;
           Alcotest.test_case "tenancy rows" `Slow test_tenancy_rows;
           Alcotest.test_case "trials scaling" `Quick test_trials_scaling;
+          Alcotest.test_case "fig5 jobs deterministic" `Slow
+            test_fig5_jobs_deterministic;
           Alcotest.test_case "micro table rows" `Quick test_micro_table_rows;
         ] );
     ]

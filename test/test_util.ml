@@ -270,6 +270,119 @@ let prop_heap_sorts =
       let drained = drain [] in
       drained = List.sort compare xs)
 
+let test_heap_tiebreak_at_scale () =
+  (* 1e5 equal-priority entries must drain in exact insertion order:
+     the tiebreak is what keeps big simulations deterministic, and this
+     size crosses many grow boundaries and deep sift paths. *)
+  let n = 100_000 in
+  let h = Pairing_heap.create () in
+  (* A few distinct priorities, heavily duplicated, pushed round-robin:
+     per priority the values must still come out in insertion order. *)
+  for i = 0 to n - 1 do
+    Pairing_heap.push h (float_of_int (i mod 4)) i
+  done;
+  let last_seen = Array.make 4 (-1) in
+  let rec drain prev_prio =
+    match Pairing_heap.pop h with
+    | None -> ()
+    | Some (p, v) ->
+        if p < prev_prio then Alcotest.fail "priority went backwards";
+        let b = int_of_float p in
+        if v <= last_seen.(b) then
+          Alcotest.failf "FIFO violated at prio %d: %d after %d" b v last_seen.(b);
+        last_seen.(b) <- v;
+        drain p
+  in
+  drain neg_infinity;
+  (* The last value drained per priority must be the last pushed. *)
+  Array.iteri
+    (fun b last ->
+      Alcotest.(check int)
+        (Printf.sprintf "bucket %d drained fully" b)
+        (n - 4 + b) last)
+    last_seen
+
+let test_heap_grow_boundary () =
+  (* The backing arrays start at 16 and double; exercise push/pop right
+     at the boundaries, including popping down across one. *)
+  let h = Pairing_heap.create () in
+  List.iter
+    (fun n ->
+      for i = 0 to n - 1 do
+        Pairing_heap.push h (float_of_int (n - i)) i
+      done;
+      Alcotest.(check int) "length" n (Pairing_heap.length h);
+      let prev = ref neg_infinity in
+      for _ = 1 to n do
+        match Pairing_heap.pop h with
+        | None -> Alcotest.fail "heap drained early"
+        | Some (p, _) ->
+            if p < !prev then Alcotest.fail "priority went backwards";
+            prev := p
+      done;
+      Alcotest.(check bool) "drained" true (Pairing_heap.is_empty h))
+    [ 15; 16; 17; 31; 32; 33 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_par_map_basic () =
+  let pool = Pool.create ~jobs:4 () in
+  Alcotest.(check int) "jobs" 4 (Pool.jobs pool);
+  let l = List.init 100 Fun.id in
+  Alcotest.(check (list int)) "matches List.map"
+    (List.map (fun x -> (x * x) + 1) l)
+    (Pool.par_map ~pool (fun x -> (x * x) + 1) l);
+  Alcotest.(check (list int)) "empty" [] (Pool.par_map ~pool Fun.id []);
+  Alcotest.(check (list int)) "singleton" [ 9 ]
+    (Pool.par_map ~pool (fun x -> x * x) [ 3 ])
+
+let prop_pool_matches_list_map =
+  (* The determinism contract: input order out, for every worker count
+     and every chunk size. *)
+  QCheck.Test.make ~name:"par_map f l = List.map f l for any jobs/chunk"
+    QCheck.(
+      triple (int_range 1 6) (int_range 1 10)
+        (list_of_size (Gen.int_range 0 60) small_int))
+    (fun (jobs, chunk, l) ->
+      let pool = Pool.create ~jobs () in
+      Pool.par_map ~pool ~chunk (fun x -> (2 * x) - 7) l
+      = List.map (fun x -> (2 * x) - 7) l)
+
+let test_pool_exception_lowest_index () =
+  let pool = Pool.create ~jobs:4 () in
+  let f i = if i >= 3 then failwith (string_of_int i) else i in
+  Alcotest.check_raises "lowest failing index wins" (Failure "3") (fun () ->
+      ignore (Pool.par_map ~pool ~chunk:1 f (List.init 10 Fun.id)))
+
+let test_pool_nested_sequential () =
+  (* A par_map inside a worker must fall back to List.map rather than
+     spawn domains from domains; the result is still the plain map. *)
+  let pool = Pool.create ~jobs:3 () in
+  let inner x = Pool.par_map ~pool (fun y -> x + y) [ 1; 2; 3 ] in
+  Alcotest.(check (list (list int))) "nested result"
+    (List.map (fun x -> [ x + 1; x + 2; x + 3 ]) [ 10; 20; 30; 40 ])
+    (Pool.par_map ~pool inner [ 10; 20; 30; 40 ])
+
+let test_pool_validation () =
+  Alcotest.check_raises "create 0"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0 ()));
+  Alcotest.check_raises "set_default_jobs 0"
+    (Invalid_argument "Pool.set_default_jobs: jobs must be >= 1") (fun () ->
+      Pool.set_default_jobs 0);
+  let pool = Pool.create ~jobs:2 () in
+  Alcotest.check_raises "chunk 0"
+    (Invalid_argument "Pool.par_map: chunk must be >= 1") (fun () ->
+      ignore (Pool.par_map ~pool ~chunk:0 Fun.id [ 1; 2 ]))
+
+let test_pool_default_jobs_override () =
+  Pool.set_default_jobs 5;
+  Alcotest.(check int) "override respected" 5 (Pool.default_jobs ());
+  Pool.set_default_jobs 1;
+  Alcotest.(check int) "reset" 1 (Pool.default_jobs ())
+
 (* ------------------------------------------------------------------ *)
 (* Bits                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -433,7 +546,20 @@ let () =
           Alcotest.test_case "empty" `Quick test_heap_empty;
           Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
           Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "tiebreak at 1e5" `Quick test_heap_tiebreak_at_scale;
+          Alcotest.test_case "grow boundary" `Quick test_heap_grow_boundary;
           qt prop_heap_sorts;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "par_map basic" `Quick test_pool_par_map_basic;
+          Alcotest.test_case "exception lowest index" `Quick
+            test_pool_exception_lowest_index;
+          Alcotest.test_case "nested sequential" `Quick test_pool_nested_sequential;
+          Alcotest.test_case "validation" `Quick test_pool_validation;
+          Alcotest.test_case "default jobs override" `Quick
+            test_pool_default_jobs_override;
+          qt prop_pool_matches_list_map;
         ] );
       ( "bits",
         [
