@@ -46,6 +46,7 @@ let experiments : (string * string * (Common.mode -> unit)) list =
     ("rail", "E15 (ext): rail-optimized fabric", Exp_rail.run);
     ("failover", "E16 (ext): mid-run failures and re-peeling", Exp_failover.run);
     ("refine", "E17 (ext): two-stage refinement control plane", Exp_refine.run);
+    ("compile", "E18 (ext): rule compiler vs TCAM budget", Exp_compile.run);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -209,7 +210,7 @@ let baseline_wall_for baseline ~mode name =
       | _ -> None)
 
 let write_bench_json ~mode ~baseline ~exp_times ~micro ~headline ~failover
-    ~refinement ~total =
+    ~refinement ~compile ~total =
   let opt_num = function Some x -> Json.num x | None -> Json.Null in
   let experiment_entry (name, wall) =
     let speedup =
@@ -239,6 +240,7 @@ let write_bench_json ~mode ~baseline ~exp_times ~micro ~headline ~failover
          ("headline_cct", headline_json headline);
          ("failover_degradation", failover);
          ("refinement", refinement);
+         ("compile", compile);
          ("total_wall_s", Json.num total);
        ]
       @
@@ -348,7 +350,14 @@ let run_guard () =
           (Json.member "refinement" doc)
           (Exp_refine.rows_json Common.Quick)
       in
-      let failures = headline + failover + refinement + guard_jobs_determinism () in
+      let compile =
+        guard_section "compile"
+          (Json.member "compile" doc)
+          (Exp_compile.rows_json Common.Quick)
+      in
+      let failures =
+        headline + failover + refinement + compile + guard_jobs_determinism ()
+      in
       if failures > 0 then begin
         Printf.printf
           "bench guard: %d section(s) drifted from the committed BENCH.json\n"
@@ -420,8 +429,9 @@ let () =
        PEEL and the baselines, regardless of which experiments ran. *)
     let failover = Exp_failover.rows_json Common.Quick in
     let refinement = Exp_refine.rows_json Common.Quick in
+    let compile = Exp_compile.rows_json Common.Quick in
     let total = Unix.gettimeofday () -. t0 in
     write_bench_json ~mode ~baseline ~exp_times ~micro ~headline ~failover
-      ~refinement ~total;
+      ~refinement ~compile ~total;
     Printf.printf "\ntotal wall time: %.1f s (BENCH.json written)\n" total
   end

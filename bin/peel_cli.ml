@@ -2,12 +2,18 @@
 
    Subcommands:
      plan       — compute a multicast tree + prefix send plan for a group
+     compile    — lower a batch of group plans to per-switch rule tables
      simulate   — run Broadcast workloads through the simulator
      trace      — run one workload with tracing on; export JSON/CSV
      failover   — inject a scheduled mid-run link failure and re-peel
      refine     — two-stage refinement control plane under group churn
      state      — switch-state and header accounting for a fat-tree degree
-     experiment — regenerate a paper table/figure by name               *)
+     experiment — regenerate a paper table/figure by name
+
+   Every subcommand uses the same exit-code convention:
+     0 — success, no error-severity diagnostics
+     1 — the run completed but a checker diagnosed errors
+     2 — command-line usage error                                        *)
 
 open Cmdliner
 open Peel_topology
@@ -77,6 +83,16 @@ let apply_jobs jobs = Option.iter Peel_util.Pool.set_default_jobs jobs
 let scale_term =
   Arg.(value & opt int 64 & info [ "scale" ] ~doc:"Collective size in GPUs.")
 
+(* The uniform exit-code contract, documented in every subcommand's man
+   page and asserted by test_compile's CLI test. *)
+let std_exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success (no error-severity diagnostics).";
+    Cmd.Exit.info 1
+      ~doc:"when the run completed but a checker diagnosed errors.";
+    Cmd.Exit.info 2 ~doc:"on command-line usage errors.";
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* plan                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -120,7 +136,7 @@ let plan_cmd =
           | w -> Printf.sprintf ", %d rack(s) over-covered" (List.length w)))
       plan.Peel.Plan.packets
   in
-  Cmd.v (Cmd.info "plan" ~doc:"Compute a multicast tree and prefix send plan.")
+  Cmd.v (Cmd.info "plan" ~exits:std_exits ~doc:"Compute a multicast tree and prefix send plan.")
     Term.(const run $ fabric_term $ seed_term $ scale_term $ failures)
 
 (* ------------------------------------------------------------------ *)
@@ -204,7 +220,7 @@ let check_cmd =
     if errs <> [] then exit 1
   in
   Cmd.v
-    (Cmd.info "check"
+    (Cmd.info "check" ~exits:std_exits
        ~doc:
          "Statically lint a scenario's invariants (tree, plan, rules, \
           schedules); exit non-zero on errors.")
@@ -264,7 +280,7 @@ let simulate_cmd =
     in
     Peel_util.Table.print ~header:[ "scheme"; "mean"; "p50"; "p99"; "max" ] rows
   in
-  Cmd.v (Cmd.info "simulate" ~doc:"Simulate Broadcast workloads.")
+  Cmd.v (Cmd.info "simulate" ~exits:std_exits ~doc:"Simulate Broadcast workloads.")
     Term.(
       const run $ fabric_term $ seed_term $ scale_term $ scheme $ size_mb $ load
       $ n $ jobs_term)
@@ -478,7 +494,7 @@ let trace_cmd =
     if errs <> [] then exit 1
   in
   Cmd.v
-    (Cmd.info "trace"
+    (Cmd.info "trace" ~exits:std_exits
        ~doc:
          "Run one Broadcast workload with structured tracing on and export \
           the trace as JSON (and optionally CSV); exit non-zero if the trace \
@@ -625,7 +641,7 @@ let failover_cmd =
     if errs <> [] then exit 1
   in
   Cmd.v
-    (Cmd.info "failover"
+    (Cmd.info "failover" ~exits:std_exits
        ~doc:
          "Run one broadcast with a scheduled mid-run link failure; the \
           controller re-peels around the cut (PEEL) or repairs end to end \
@@ -825,7 +841,7 @@ let refine_cmd =
     if errs <> [] then exit 1
   in
   Cmd.v
-    (Cmd.info "refine"
+    (Cmd.info "refine" ~exits:std_exits
        ~doc:
          "Run a churning multicast group schedule through the two-stage \
           refinement control plane (static prefix rules, then exact \
@@ -835,6 +851,235 @@ let refine_cmd =
       const run $ fabric_term $ seed_term $ scale_term $ schemes $ n $ size_mb
       $ load $ hold $ fragmentation $ chunks $ rpc $ per_rule $ capacity
       $ policy $ budget $ quiet)
+
+(* ------------------------------------------------------------------ *)
+(* compile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Testing hook behind --corrupt: seed exactly the table corruption a
+   given CMP code exists to catch, so the lint alias can prove the
+   checker fails loudly end to end. *)
+let corrupt_compiled (t : Peel_compile.Compile.t) code =
+  let module C = Peel_compile.Compile in
+  let map_nth n f l = List.mapi (fun i x -> if i = n then f x else x) l in
+  let map_first_table f = { t with C.tables = map_nth 0 f t.C.tables } in
+  match code with
+  | `Cmp001 ->
+      (* Drop the last table's final (shortest-prefix) entry: its
+         headers have no installed ancestor left, so the packets that
+         selected it are silently dropped. *)
+      let n = List.length t.C.tables - 1 in
+      {
+        t with
+        C.tables =
+          map_nth n
+            (fun (tb : C.table) ->
+              {
+                tb with
+                C.entries =
+                  (match List.rev tb.C.entries with
+                  | [] -> []
+                  | _ :: rest -> List.rev rest);
+              })
+            t.C.tables;
+      }
+  | `Cmp002 ->
+      (* Append a duplicate of the highest-priority entry at the lowest
+         priority: shadowed dead weight. *)
+      map_first_table (fun (tb : C.table) ->
+          match tb.C.entries with
+          | [] -> tb
+          | e :: _ -> { tb with C.entries = tb.C.entries @ [ e ] })
+  | `Cmp003 ->
+      (* Knock one port off an entry: it no longer replicates to its
+         whole block, conflicting with the static rule for the prefix. *)
+      map_first_table (fun (tb : C.table) ->
+          {
+            tb with
+            C.entries =
+              map_nth 0
+                (fun (e : C.entry) ->
+                  { e with C.ports = List.tl e.C.ports })
+                tb.C.entries;
+          })
+  | `Cmp004 ->
+      (* Rewrite the budget below the busiest table: the proof fails. *)
+      { t with C.capacity = Some (C.max_entries t - 1) }
+  | `Cmp005 ->
+      (* Erase an entry's provenance: soundness becomes unprovable. *)
+      map_first_table (fun (tb : C.table) ->
+          {
+            tb with
+            C.entries =
+              map_nth 0
+                (fun (e : C.entry) -> { e with C.sources = [] })
+                tb.C.entries;
+          })
+
+let compile_cmd =
+  let module C = Peel_compile.Compile in
+  let module Json = Peel_util.Json in
+  let groups =
+    Arg.(
+      value & opt int 8
+      & info [ "groups" ] ~docv:"N"
+          ~doc:"Concurrent multicast groups in the batch.")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Per-switch TCAM entry budget to compile (and prove) against.")
+  in
+  let aggregate =
+    Arg.(
+      value & flag
+      & info [ "aggregate" ]
+          ~doc:
+            "Merge sibling/nested prefix entries across groups when a table \
+             exceeds the budget (trades over-delivery for entries).")
+  in
+  let fragmentation =
+    Arg.(
+      value & opt float 0.5
+      & info [ "fragmentation" ]
+          ~doc:"Fraction of servers relocated off the contiguous placement.")
+  in
+  let corrupt =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("cmp001", `Cmp001); ("cmp002", `Cmp002); ("cmp003", `Cmp003);
+                  ("cmp004", `Cmp004); ("cmp005", `Cmp005) ]))
+          None
+      & info [ "corrupt" ] ~docv:"CODE"
+          ~doc:
+            "Testing hook: seed the table corruption CODE (cmp001..cmp005) \
+             exists to catch, then run the checker — must exit 1.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the verdict line.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the compiled tables and diagnostics as JSON on stdout \
+             (schema peel-compile/1) instead of the human report.")
+  in
+  let run fabric seed scale groups capacity aggregate fragmentation corrupt
+      quiet json =
+    let module D = Peel_check.Diagnostic in
+    let rng = Rng.create seed in
+    let batch =
+      List.init groups (fun gid ->
+          let members = Spec.place fabric rng ~scale ~fragmentation () in
+          let source = List.hd members in
+          let dests = List.filter (fun m -> m <> source) members in
+          (gid, Peel.plan fabric ~source ~dests))
+    in
+    let t = C.compile ?capacity ~aggregate fabric batch in
+    let t = match corrupt with None -> t | Some c -> corrupt_compiled t c in
+    let ds = Peel_compile.Check_compile.check fabric t in
+    let errs = D.errors ds in
+    let waste =
+      List.fold_left
+        (fun acc (gid, _) ->
+          acc + List.length (C.group_waste fabric t ~group:gid))
+        0 batch
+    in
+    if json then begin
+      let finding d =
+        Json.Obj
+          [
+            ("severity", Json.str (D.severity_to_string d.D.severity));
+            ("code", Json.str d.D.code);
+            ("location", Json.str d.D.location);
+            ("message", Json.str d.D.message);
+          ]
+      in
+      let table_json (sw, entries, bytes) =
+        Json.Obj
+          [
+            ("switch", Json.str (C.switch_to_string sw));
+            ("entries", Json.int entries);
+            ("bytes", Json.int bytes);
+          ]
+      in
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.str "peel-compile/1");
+            ( "meta",
+              Json.Obj
+                [
+                  ("fabric", Json.str (Fabric.describe fabric));
+                  ("seed", Json.int seed);
+                  ("scale", Json.int scale);
+                  ("groups", Json.int groups);
+                  ( "capacity",
+                    match capacity with
+                    | None -> Json.Null
+                    | Some c -> Json.int c );
+                  ("aggregate", Json.Bool aggregate);
+                  ("fragmentation", Json.num fragmentation);
+                ] );
+            ("tables", Json.Arr (List.map table_json (C.footprint t)));
+            ( "totals",
+              Json.Obj
+                [
+                  ("entries", Json.int (C.total_entries t));
+                  ("max_entries", Json.int (C.max_entries t));
+                  ("merges", Json.int t.C.merges);
+                  ("waste_racks", Json.int waste);
+                  ("fits", Json.Bool (C.fits t));
+                ] );
+            ("findings", Json.Arr (List.map finding ds));
+            ("errors", Json.int (List.length errs));
+          ]
+      in
+      print_endline (Json.to_string doc)
+    end
+    else begin
+      if not quiet then begin
+        Printf.printf "fabric: %s; %d groups of %d GPUs%s%s\n"
+          (Fabric.describe fabric) groups scale
+          (match capacity with
+          | None -> ""
+          | Some c -> Printf.sprintf "; TCAM budget %d" c)
+          (if aggregate then "; aggregation on" else "");
+        Peel_util.Table.print ~header:[ "switch"; "entries"; "bytes" ]
+          (List.map
+             (fun (sw, entries, bytes) ->
+               [
+                 C.switch_to_string sw; string_of_int entries;
+                 string_of_int bytes;
+               ])
+             (C.footprint t));
+        print_newline ();
+        if ds <> [] then Format.printf "%a" D.pp_report ds
+      end;
+      Printf.printf
+        "compile: %d entries (max %d/switch), %d merge(s), %d waste rack \
+         slot(s), fits=%b, %d finding(s), %d error(s)\n"
+        (C.total_entries t) (C.max_entries t) t.C.merges waste (C.fits t)
+        (List.length ds) (List.length errs)
+    end;
+    if errs <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "compile" ~exits:std_exits
+       ~doc:
+         "Compile a batch of concurrent group plans into concrete per-switch \
+          rule tables (dedup + optional cross-group aggregation) and prove \
+          them equivalent with the CMP static checks; exit 1 on any error.")
+    Term.(
+      const run $ fabric_term $ seed_term $ scale_term $ groups $ capacity
+      $ aggregate $ fragmentation $ corrupt $ quiet $ json)
 
 (* ------------------------------------------------------------------ *)
 (* collective                                                          *)
@@ -895,7 +1140,7 @@ let collective_cmd =
       (List.map (fun (name, cct) -> [ name; Peel_util.Table.fsec cct ]) rows)
   in
   Cmd.v
-    (Cmd.info "collective" ~doc:"Simulate allgather / reduce / allreduce.")
+    (Cmd.info "collective" ~exits:std_exits ~doc:"Simulate allgather / reduce / allreduce.")
     Term.(const run $ fabric_term $ seed_term $ scale_term $ op $ size_mb)
 
 (* ------------------------------------------------------------------ *)
@@ -915,7 +1160,7 @@ let state_cmd =
       (Peel_prefix.Header.header_bytes ~k)
   in
   Cmd.v
-    (Cmd.info "state" ~doc:"Switch-state and header accounting for degree K.")
+    (Cmd.info "state" ~exits:std_exits ~doc:"Switch-state and header accounting for degree K.")
     Term.(const run $ k)
 
 (* ------------------------------------------------------------------ *)
@@ -933,7 +1178,7 @@ let experiment_cmd =
       ("collectives", Exp_collectives.run); ("multipath", Exp_multipath.run);
       ("loss", Exp_loss.run); ("tenancy", Exp_tenancy.run);
       ("rail", Exp_rail.run); ("failover", Exp_failover.run);
-      ("refine", Exp_refine.run);
+      ("refine", Exp_refine.run); ("compile", Exp_compile.run);
     ]
   in
   let exp_name =
@@ -949,18 +1194,26 @@ let experiment_cmd =
     (List.assoc exp_name exps) mode
   in
   Cmd.v
-    (Cmd.info "experiment" ~doc:"Regenerate a paper table/figure by name.")
+    (Cmd.info "experiment" ~exits:std_exits ~doc:"Regenerate a paper table/figure by name.")
     Term.(const run $ exp_name $ quick $ jobs_term)
 
 let () =
   let info =
-    Cmd.info "peel-cli" ~version:"0.1.0"
+    Cmd.info "peel-cli" ~version:"0.1.0" ~exits:std_exits
       ~doc:"Scalable datacenter multicast for AI collectives (PEEL)."
   in
+  (* Map cmdliner's evaluation outcome onto the documented convention:
+     usage errors exit 2 rather than cmdliner's default 124.  Checker
+     diagnostics exit 1 from within the subcommand itself. *)
+  let cmd =
+    Cmd.group info
+      [
+        plan_cmd; check_cmd; compile_cmd; simulate_cmd; trace_cmd;
+        failover_cmd; refine_cmd; collective_cmd; state_cmd; experiment_cmd;
+      ]
+  in
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            plan_cmd; check_cmd; simulate_cmd; trace_cmd; failover_cmd;
-            refine_cmd; collective_cmd; state_cmd; experiment_cmd;
-          ]))
+    (match Cmd.eval_value cmd with
+    | Ok (`Ok ()) | Ok `Help | Ok `Version -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 125)

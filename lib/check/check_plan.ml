@@ -5,8 +5,8 @@ module Dataplane = Peel.Dataplane
 module Bits = Peel_util.Bits
 module D = Diagnostic
 
-let tor_id_bits fabric = Bits.ceil_log2 (max 2 (Fabric.tors_per_pod fabric))
-let pod_id_bits fabric = Bits.ceil_log2 (max 2 (Fabric.pods fabric))
+let tor_id_bits = Plan.tor_id_bits
+let pod_id_bits = Plan.pod_id_bits
 let rule_budget fabric = (2 * Bits.pow2 (tor_id_bits fabric)) - 1
 
 let ploc i = Printf.sprintf "packet %d" i

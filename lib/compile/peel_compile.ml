@@ -1,0 +1,17 @@
+(** Fleet-level rule compiler: lower a batch of per-group send plans
+    into concrete per-switch tables ({!Compile}), with a static
+    equivalence checker over stable CMP codes ({!Check_compile}).
+
+    {!compile} is the checked front door: under [PEEL_CHECK=1]
+    ({!Peel_check.enabled}) every compile is re-proved equivalent
+    before it is returned. *)
+
+module Compile = Compile
+module Check_compile = Check_compile
+
+let compile ?capacity ?aggregate fabric batch =
+  let t = Compile.compile ?capacity ?aggregate fabric batch in
+  if Peel_check.enabled () then
+    Peel_check.assert_valid ~what:"compiled rule tables"
+      (Check_compile.check fabric t);
+  t

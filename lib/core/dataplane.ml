@@ -1,6 +1,5 @@
 open Peel_topology
 open Peel_prefix
-module Bits = Peel_util.Bits
 
 type delivery = {
   packet_index : int;
@@ -9,8 +8,8 @@ type delivery = {
 }
 
 let deliver fabric (plan : Plan.t) =
-  let m_tor = Bits.ceil_log2 (max 2 (Fabric.tors_per_pod fabric)) in
-  let m_pod = Bits.ceil_log2 (max 2 (Fabric.pods fabric)) in
+  let m_tor = Plan.tor_id_bits fabric in
+  let m_pod = Plan.pod_id_bits fabric in
   let agg_table = Rules.static_table ~m:m_tor in
   let core_table = Rules.static_table ~m:m_pod in
   List.mapi

@@ -18,8 +18,7 @@ let multicast_tree fabric ~source ~dests =
 
 let plan ?budget fabric ~source ~dests = Plan.build ?budget fabric ~source ~dests
 
-let tor_id_bits fabric =
-  Peel_util.Bits.ceil_log2 (max 2 (Fabric.tors_per_pod fabric))
+let tor_id_bits = Plan.tor_id_bits
 
 let switch_rules fabric = Peel_util.Bits.pow2 (tor_id_bits fabric + 1) - 1
 

@@ -34,6 +34,14 @@ type t = {
   header_bytes : int;       (** per-packet header size for this fabric *)
 }
 
+val tor_id_bits : Fabric.t -> int
+(** Width of the in-pod ToR identifier space the prefix engine
+    addresses: [ceil_log2 (max 2 tors_per_pod)].  The single source of
+    truth for every layer that builds or replays prefix tables. *)
+
+val pod_id_bits : Fabric.t -> int
+(** Width of the pod identifier space (core-tier match field). *)
+
 val build : ?budget:int -> Fabric.t -> source:int -> dests:int list -> t
 (** [budget] caps the number of ToR prefixes per pod-signature group
     (default: unlimited, i.e. exact covers). *)

@@ -87,6 +87,18 @@ let install t ~now ~switch ~group =
     List.rev !victims
   end
 
+let install_strict t ~now ~switch ~group =
+  let tbl = table t switch in
+  if Hashtbl.mem tbl group then true
+  else if Hashtbl.length tbl >= t.capacity then false
+  else begin
+    Hashtbl.replace tbl group { last_used = now; bytes = 0.0 };
+    t.installs <- t.installs + 1;
+    let u = Hashtbl.length tbl in
+    if u > t.max_used then t.max_used <- u;
+    true
+  end
+
 let touch t ~now ~switch ~group ~bytes =
   match Hashtbl.find_opt t.tables switch with
   | None -> ()

@@ -33,6 +33,14 @@ val install : t -> now:float -> switch:int -> group:int -> int list
     victim off with {!remove_group} — a group with entries missing at
     one switch cannot replicate exactly anywhere. *)
 
+val install_strict : t -> now:float -> switch:int -> group:int -> bool
+(** Admission-control variant of {!install}: install [group]'s entry at
+    [switch] only if it fits without displacing anyone.  Returns
+    whether the entry is now present ([true] if it fit or was already
+    installed, [false] if the switch is full — nothing is evicted).
+    The rule compiler's E18 baseline uses this to find the exact
+    per-group install saturation point of a TCAM budget. *)
+
 val touch : t -> now:float -> switch:int -> group:int -> bytes:float -> unit
 (** Account a chunk of [bytes] through [group]'s entry at [switch]
     (updates the LRU stamp and the byte weight); no-op if absent. *)

@@ -1,0 +1,22 @@
+(** E18: the fleet-level rule compiler — concurrent multicast groups
+    sustained per TCAM entry budget, per-group exact installs vs.
+    compiled tables (dedup) vs. compiled tables with cross-group
+    aggregation, on one seeded arrival sequence.
+
+    Pure control-plane accounting (no simulation), so the rows are
+    bit-deterministic and guarded in BENCH.json's "compile" section. *)
+
+type row = {
+  capacity : int;      (** per-switch TCAM entry budget *)
+  batch : int;         (** groups offered (the arrival sequence length) *)
+  exact_groups : int;  (** sustained by per-group exact installs *)
+  dedup_groups : int;  (** sustained by compiled tables, dedup only *)
+  agg_groups : int;    (** sustained with cross-group aggregation *)
+  agg_max_entries : int;  (** busiest switch at the aggregated maximum *)
+  agg_merges : int;       (** merges performed at that point *)
+  agg_waste : int;        (** aggregation-induced waste rack slots *)
+}
+
+val rows : Common.mode -> row list
+val rows_json : Common.mode -> Peel_util.Json.t
+val run : Common.mode -> unit

@@ -27,6 +27,15 @@ let expand ~m p =
   let start = block_start ~m p and size = block_size ~m p in
   List.init size (fun i -> start + i)
 
+let parent p =
+  if p.len = 0 then None else Some { value = p.value / 2; len = p.len - 1 }
+
+let sibling p =
+  if p.len = 0 then None else Some { value = p.value lxor 1; len = p.len }
+
+let is_ancestor a p =
+  a.len <= p.len && p.value lsr (p.len - a.len) = a.value
+
 let to_string ~m p =
   validate ~m p;
   String.init m (fun i ->

@@ -26,6 +26,20 @@ val covers : m:int -> prefix -> int -> bool
 val expand : m:int -> prefix -> int list
 (** All identifiers in the block, ascending. *)
 
+val parent : prefix -> prefix option
+(** The double-size enclosing block: [{value/2; len-1}]. [None] for the
+    root (len 0).  Independent of [m] — a valid prefix's parent is
+    valid in the same space. *)
+
+val sibling : prefix -> prefix option
+(** The parent's other child (same [len], low bit flipped); [None] for
+    the root.  A sibling pair's blocks partition their parent's. *)
+
+val is_ancestor : prefix -> prefix -> bool
+(** [is_ancestor a p] — does [a]'s block contain [p]'s?  Reflexive, and
+    the only way two prefix blocks can overlap is containment, so
+    [not (is_ancestor a b) && not (is_ancestor b a)] means disjoint. *)
+
 val to_string : m:int -> prefix -> string
 (** CIDR-ish rendering, e.g. "01*" for value=1,len=2 in a 3-bit space. *)
 

@@ -24,10 +24,17 @@ let rules t =
 
 let size t = Hashtbl.length t.by_prefix
 
+let lookup_opt t prefix = Hashtbl.find_opt t.by_prefix prefix
+
 let lookup t prefix =
   match Hashtbl.find_opt t.by_prefix prefix with
   | Some r -> r
-  | None -> raise Not_found
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Rules.lookup: prefix {value=%d; len=%d} outside the %d-bit table \
+            (valid: 0 <= len <= %d, 0 <= value < 2^len)"
+           prefix.Cover.value prefix.Cover.len t.m t.m)
 
 let match_ports t header ~m =
   let prefix = Header.decode ~m header.Header.raw in

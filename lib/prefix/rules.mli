@@ -28,8 +28,15 @@ val size : table -> int
 (** Number of installed rules = [2^(m+1) - 1]. *)
 
 val lookup : table -> Cover.prefix -> rule
-(** The unique rule matching a header. Raises [Not_found] for a prefix
-    outside the table (wrong [m]). *)
+(** The unique rule matching a header.  Raises a descriptive
+    [Invalid_argument] for a prefix outside the table's id space
+    (wrong [m], out-of-range value) — adversarial inputs reach this
+    path through the compiler's conflict checker, so the error names
+    the offending prefix and the table width. *)
+
+val lookup_opt : table -> Cover.prefix -> rule option
+(** Total variant of {!lookup}: [None] for a prefix outside the
+    table. *)
 
 val match_ports : table -> Header.t -> m:int -> int list
 (** Full data-plane path: decode the wire header, look up the rule,

@@ -1,0 +1,30 @@
+#!/bin/sh
+# The whole CI gate in one command, in dependency order:
+#
+#   1. build   — dune build (strict warnings are errors)
+#   2. test    — dune runtest (unit, property, and differential suites)
+#   3. lint    — scripts/lint.sh (static invariant battery: @check-lint,
+#                @trace-smoke, @failover-smoke, @ctrl-smoke,
+#                @compile-smoke, diagnostic-code suites, docs gate)
+#   4. bench   — scripts/bench_guard.sh (deterministic drift guard
+#                against the committed BENCH.json)
+#
+# Each stage is timed; the script exits non-zero at the first failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+stage() {
+  name=$1
+  shift
+  echo "ci.sh: [$name] $*"
+  start=$(date +%s)
+  "$@"
+  end=$(date +%s)
+  echo "ci.sh: [$name] ok in $((end - start))s"
+}
+
+stage build dune build
+stage test dune runtest
+stage lint sh scripts/lint.sh
+stage bench sh scripts/bench_guard.sh
+echo "ci.sh: all stages passed"

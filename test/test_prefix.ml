@@ -354,8 +354,23 @@ let test_rule_lookup_ports () =
 
 let test_rule_lookup_missing () =
   let t = Rules.static_table ~m:2 in
-  Alcotest.(check bool) "not found" true
-    (try ignore (Rules.lookup t (prefix 0 3)); false with Not_found -> true)
+  (* An out-of-space prefix raises a descriptive Invalid_argument that
+     names the offending prefix and the table width — not a bare
+     Not_found the caller cannot act on. *)
+  Alcotest.(check bool) "invalid_arg names the prefix" true
+    (try
+       ignore (Rules.lookup t (prefix 0 3));
+       false
+     with Invalid_argument msg ->
+       let has needle =
+         let nl = String.length needle and ml = String.length msg in
+         let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+         go 0
+       in
+       has "len=3" && has "2-bit");
+  Alcotest.(check bool) "lookup_opt total" true
+    (Rules.lookup_opt t (prefix 0 3) = None
+    && Rules.lookup_opt t (prefix 1 1) <> None)
 
 let test_match_ports_end_to_end () =
   (* Sender encodes 01*; switch decodes and replicates to ToRs 2,3. *)
