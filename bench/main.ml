@@ -47,6 +47,7 @@ let experiments : (string * string * (Common.mode -> unit)) list =
     ("failover", "E16 (ext): mid-run failures and re-peeling", Exp_failover.run);
     ("refine", "E17 (ext): two-stage refinement control plane", Exp_refine.run);
     ("compile", "E18 (ext): rule compiler vs TCAM budget", Exp_compile.run);
+    ("scale", "E19 (ext): sharded-engine scale sweep, k=16/32/64", Exp_scale.run);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -104,10 +105,28 @@ let micro_tests () =
            while Peel_util.Pairing_heap.pop h <> None do
              ()
            done));
+    Test.make ~name:"calqueue_push_pop_10k"
+      (Staged.stage (fun () ->
+           let c = Peel_util.Calendar_queue.create () in
+           let prios = Lazy.force heap_priorities in
+           Array.iter (fun p -> Peel_util.Calendar_queue.push c p ()) prios;
+           while Peel_util.Calendar_queue.pop c <> None do
+             ()
+           done));
     Test.make ~name:"engine_10k_events_trace_off"
       (Staged.stage (engine_churn ~traced:false));
     Test.make ~name:"engine_10k_events_traced"
       (Staged.stage (engine_churn ~traced:true));
+    (* One fig6-style cell on a k=32 fat-tree (16384 GPUs), flattened
+       and executed on the sharded engine end to end. *)
+    (let k32 = Peel_topology.Fabric.fat_tree ~k:32 ~hosts_per_tor:4 ~gpus_per_host:8 () in
+     let cs =
+       Peel_workload.Spec.poisson_broadcasts k32 (Rng.create 100) ~n:4
+         ~scale:256 ~bytes:(Common.mb 64.) ~load:0.3 ()
+     in
+     Test.make ~name:"shard_k32_peel_256_dests"
+       (Staged.stage (fun () ->
+            ignore (Peel_collective.Par.run ~jobs:4 k32 Peel_collective.Scheme.Peel cs))));
   ]
 
 (* Total extraction: every declared test element yields one row, even
@@ -210,7 +229,7 @@ let baseline_wall_for baseline ~mode name =
       | _ -> None)
 
 let write_bench_json ~mode ~baseline ~exp_times ~micro ~headline ~failover
-    ~refinement ~compile ~total =
+    ~refinement ~compile ~scale ~scale_speedup ~total =
   let opt_num = function Some x -> Json.num x | None -> Json.Null in
   let experiment_entry (name, wall) =
     let speedup =
@@ -241,6 +260,8 @@ let write_bench_json ~mode ~baseline ~exp_times ~micro ~headline ~failover
          ("failover_degradation", failover);
          ("refinement", refinement);
          ("compile", compile);
+         ("scale", scale);
+         ("scale_speedup", scale_speedup);
          ("total_wall_s", Json.num total);
        ]
       @
@@ -355,8 +376,18 @@ let run_guard () =
           (Json.member "compile" doc)
           (Exp_compile.rows_json Common.Quick)
       in
+      (* The scale rows come off the sharded engine, whose results are
+         jobs-invariant — so this section both guards E19 against drift
+         and doubles as a determinism gate for the parallel DES.  The
+         machine-dependent "scale_speedup" section is NOT guarded. *)
+      let scale =
+        guard_section "scale"
+          (Json.member "scale" doc)
+          (Exp_scale.rows_json Common.Quick)
+      in
       let failures =
-        headline + failover + refinement + compile + guard_jobs_determinism ()
+        headline + failover + refinement + compile + scale
+        + guard_jobs_determinism ()
       in
       if failures > 0 then begin
         Printf.printf
@@ -430,8 +461,10 @@ let () =
     let failover = Exp_failover.rows_json Common.Quick in
     let refinement = Exp_refine.rows_json Common.Quick in
     let compile = Exp_compile.rows_json Common.Quick in
+    let scale = Exp_scale.rows_json Common.Quick in
+    let scale_speedup = Exp_scale.speedup_json Common.Quick in
     let total = Unix.gettimeofday () -. t0 in
     write_bench_json ~mode ~baseline ~exp_times ~micro ~headline ~failover
-      ~refinement ~compile ~total;
+      ~refinement ~compile ~scale ~scale_speedup ~total;
     Printf.printf "\ntotal wall time: %.1f s (BENCH.json written)\n" total
   end

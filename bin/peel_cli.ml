@@ -255,35 +255,107 @@ let simulate_cmd =
   let n =
     Arg.(value & opt int 40 & info [ "n" ] ~doc:"Number of collectives.")
   in
-  let run fabric seed scale schemes size_mb load n jobs =
+  let par_sim =
+    Arg.(
+      value & flag
+      & info [ "par-sim" ]
+          ~doc:
+            "Run each scheme on the conservative sharded engine (event loop \
+             partitioned by pod, $(b,--jobs) worker domains) instead of the \
+             sequential engine.  Schemes the sharded engine cannot express \
+             (orca, peel+cores, multitree) fall back to the sequential path, \
+             marked in the table.  Also enabled by \\$(b,PEEL_PAR_SIM)=1.")
+  in
+  let par_verify =
+    Arg.(
+      value & flag
+      & info [ "par-verify" ]
+          ~doc:
+            "With the sharded engine (implies $(b,--par-sim)): run every \
+             supported scheme at jobs=1 and jobs=N, require bit-identical \
+             CCTs, makespan, delivery fingerprint and per-link busy time, \
+             and lint the window audit for shard-boundary causality \
+             (SIM008).  Exits 1 on any divergence or finding.")
+  in
+  let run fabric seed scale schemes size_mb load n jobs par_sim par_verify =
     apply_jobs jobs;
-    Printf.printf "fabric: %s; %d collectives of %d GPUs x %.0f MB at %.0f%% load\n\n"
-      (Fabric.describe fabric) n scale size_mb (load *. 100.0);
-    (* One worker cell per scheme: each regenerates the workload from
-       the seed and shares the fabric read-only. *)
-    let rows =
-      Peel_util.Pool.par_map
-        (fun scheme ->
-          let cs =
-            Spec.poisson_broadcasts fabric (Rng.create seed) ~n ~scale
-              ~bytes:(size_mb *. 1e6) ~load ()
-          in
-          let s = Runner.summarize (Runner.run fabric scheme cs) in
-          [
-            Scheme.to_string scheme;
-            Peel_util.Table.fsec s.Peel_util.Stats.mean;
-            Peel_util.Table.fsec s.Peel_util.Stats.p50;
-            Peel_util.Table.fsec s.Peel_util.Stats.p99;
-            Peel_util.Table.fsec s.Peel_util.Stats.max;
-          ])
-        schemes
+    let par_sim =
+      par_sim || par_verify
+      || (match Sys.getenv_opt "PEEL_PAR_SIM" with
+         | Some ("1" | "true" | "on") -> true
+         | _ -> false)
     in
-    Peel_util.Table.print ~header:[ "scheme"; "mean"; "p50"; "p99"; "max" ] rows
+    Printf.printf "fabric: %s; %d collectives of %d GPUs x %.0f MB at %.0f%% load%s\n\n"
+      (Fabric.describe fabric) n scale size_mb (load *. 100.0)
+      (if par_sim then
+         Printf.sprintf " (sharded engine, %d jobs)" (Peel_util.Pool.default_jobs ())
+       else "");
+    let specs () =
+      Spec.poisson_broadcasts fabric (Rng.create seed) ~n ~scale
+        ~bytes:(size_mb *. 1e6) ~load ()
+    in
+    let verify_failed = ref false in
+    if par_verify then
+      List.iter
+        (fun scheme ->
+          if Par.supported scheme then begin
+            let cs = specs () in
+            let r1 = Par.run ~jobs:1 ~audit:true fabric scheme cs in
+            let rn = Par.run ~audit:true fabric scheme cs in
+            let module S = Peel_sim.Shard in
+            let same =
+              Array.for_all2 Float.equal r1.S.r_ccts rn.S.r_ccts
+              && r1.S.r_fingerprint = rn.S.r_fingerprint
+              && Float.equal r1.S.r_makespan rn.S.r_makespan
+              && Array.for_all2 Float.equal r1.S.r_busy rn.S.r_busy
+            in
+            let ds =
+              Peel_check.Check_sim.check_shard r1
+              @ Peel_check.Check_sim.check_shard rn
+            in
+            if (not same) || Peel_check.Diagnostic.has_errors ds then begin
+              verify_failed := true;
+              Printf.printf "par-verify %s: FAILED%s\n" (Scheme.to_string scheme)
+                (if same then "" else " (jobs-1 vs jobs-N diverged)");
+              Format.printf "%a" Peel_check.Diagnostic.pp_report ds
+            end
+            else
+              Printf.printf "par-verify %s: ok (%d windows, %d events)\n"
+                (Scheme.to_string scheme) rn.S.r_windows rn.S.r_events
+          end)
+        schemes;
+    if par_verify then print_newline ();
+    let row scheme =
+      let cs = specs () in
+      let name = Scheme.to_string scheme in
+      let name, outcome =
+        if par_sim && Par.supported scheme then (name, Runner.run_sharded fabric scheme cs)
+        else if par_sim then (name ^ " (seq)", Runner.run fabric scheme cs)
+        else (name, Runner.run fabric scheme cs)
+      in
+      let s = Runner.summarize outcome in
+      [
+        name;
+        Peel_util.Table.fsec s.Peel_util.Stats.mean;
+        Peel_util.Table.fsec s.Peel_util.Stats.p50;
+        Peel_util.Table.fsec s.Peel_util.Stats.p99;
+        Peel_util.Table.fsec s.Peel_util.Stats.max;
+      ]
+    in
+    (* Sequential engine: one worker cell per scheme (each regenerates
+       the workload from the seed and shares the fabric read-only).
+       Sharded engine: schemes run serially — the domains live inside
+       each run. *)
+    let rows =
+      if par_sim then List.map row schemes else Peel_util.Pool.par_map row schemes
+    in
+    Peel_util.Table.print ~header:[ "scheme"; "mean"; "p50"; "p99"; "max" ] rows;
+    if !verify_failed then exit 1
   in
   Cmd.v (Cmd.info "simulate" ~exits:std_exits ~doc:"Simulate Broadcast workloads.")
     Term.(
       const run $ fabric_term $ seed_term $ scale_term $ scheme $ size_mb $ load
-      $ n $ jobs_term)
+      $ n $ jobs_term $ par_sim $ par_verify)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)

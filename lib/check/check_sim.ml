@@ -193,6 +193,79 @@ let check_trace ?expected_deliveries trace =
   end;
   List.rev !ds
 
+let check_shard (r : Peel_sim.Shard.result) =
+  let module S = Peel_sim.Shard in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let records = r.S.r_audit in
+  if Array.length records > 0 then begin
+    let nshards =
+      1 + Array.fold_left (fun acc a -> max acc a.S.a_shard) 0 records
+    in
+    let counts = Array.make nshards 0 in
+    let last_window = Array.make nshards (-1) in
+    let last_bound = Array.make nshards neg_infinity in
+    Array.iter
+      (fun (a : S.audit_record) ->
+        let loc = Printf.sprintf "shard %d window %d" a.S.a_shard a.S.a_window in
+        counts.(a.S.a_shard) <- counts.(a.S.a_shard) + 1;
+        (* Every event executed inside a window must precede its bound:
+           a popped timestamp at or past the bound means the shard ran
+           ahead of what the lookahead guarantees other shards cannot
+           still influence. *)
+        if Float.is_finite a.S.a_max_exec && a.S.a_max_exec >= a.S.a_bound then
+          add
+            (D.errorf ~code:"SIM008" ~loc
+               "executed an event at %.17g, at or past the window bound %.17g"
+               a.S.a_max_exec a.S.a_bound);
+        (* Every event received at the barrier must land at or past the
+           bound — an earlier arrival would have belonged inside the
+           window just executed (causality violated). *)
+        if a.S.a_min_in < a.S.a_bound then
+          add
+            (D.errorf ~code:"SIM008" ~loc
+               "received a cross-shard event at %.17g, before the window bound %.17g"
+               a.S.a_min_in a.S.a_bound);
+        (* Windows advance in order with strictly growing bounds (the
+           global window minimum strictly increases per epoch). *)
+        if a.S.a_window <> last_window.(a.S.a_shard) + 1 then
+          add
+            (D.errorf ~code:"SIM008" ~loc "window follows window %d (not in sequence)"
+               last_window.(a.S.a_shard));
+        if
+          Float.is_finite last_bound.(a.S.a_shard)
+          && a.S.a_bound <= last_bound.(a.S.a_shard)
+        then
+          add
+            (D.errorf ~code:"SIM008" ~loc
+               "window bound %.17g did not advance past the previous bound %.17g"
+               a.S.a_bound
+               last_bound.(a.S.a_shard));
+        last_window.(a.S.a_shard) <- a.S.a_window;
+        last_bound.(a.S.a_shard) <- a.S.a_bound)
+      records;
+    (* Barrier alignment: every shard sees the same number of epochs. *)
+    Array.iteri
+      (fun s c ->
+        if c <> counts.(0) then
+          add
+            (D.errorf ~code:"SIM008" ~loc:(Printf.sprintf "shard %d" s)
+               "%d windows audited but shard 0 audited %d (barrier epochs diverged)"
+               c counts.(0)))
+      counts;
+    (* Event conservation: every executed event belongs to exactly one
+       audited window. *)
+    let audited =
+      Array.fold_left (fun acc a -> acc + a.S.a_events) 0 records
+    in
+    if audited <> r.S.r_events then
+      add
+        (D.errorf ~code:"SIM008" ~loc:"run"
+           "%d events audited across windows but %d executed" audited
+           r.S.r_events)
+  end;
+  List.rev !ds
+
 let check_chunk_conservation ~chunks ~receivers ~delivered =
   let want = chunks * receivers in
   if delivered <> want then

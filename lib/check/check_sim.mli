@@ -19,7 +19,12 @@
     - [SIM007] a link was reserved while its duplex pair was down,
       replaying the trace's [Link_fail]/[Link_recover] events — since
       delivery requires the final hop's reservation, this also enforces
-      that no chunk is delivered through a failed link *)
+      that no chunk is delivered through a failed link
+    - [SIM008] shard-boundary causality in the conservative parallel
+      engine: within each barrier window every executed event precedes
+      the window bound, every cross-shard event received at the barrier
+      lands at or past it, bounds strictly advance, and all shards
+      audit the same number of epochs *)
 
 open Peel_topology
 
@@ -54,6 +59,15 @@ val check_trace :
     fault events to flag any reservation on a down duplex pair
     ([SIM007]).  When [expected_deliveries] is given, traced deliveries
     must equal it (chunk conservation, [SIM005]). *)
+
+val check_shard : Peel_sim.Shard.result -> Diagnostic.t list
+(** SIM008 audit of a sharded run.  Requires the run to have collected
+    evidence ([Peel_sim.Shard.run ~audit:true] /
+    [Peel_collective.Par.run ~audit:true]); with no audit records the
+    check passes vacuously.  Verifies, per shard and window: no event
+    executed at or past the window bound, no cross-shard event received
+    before it, bounds strictly increasing, windows sequential, and
+    barrier epoch counts identical across shards. *)
 
 val check_chunk_conservation :
   chunks:int -> receivers:int -> delivered:int -> Diagnostic.t list

@@ -304,10 +304,7 @@ let run_orca engine links fabric paths cfg cc tracker (spec : Spec.collective)
         ~chunk:c ~chunk_bytes ~start:t ~on_member)
 
 let peel_packet_trees fabric (spec : Spec.collective) =
-  let plan = Peel.Plan.build fabric ~source:spec.source ~dests:spec.dests in
-  List.filter_map
-    (fun packet -> Peel.Plan.packet_tree fabric ~source:spec.source packet)
-    plan.Peel.Plan.packets
+  Peel.Plan.packet_trees fabric ~source:spec.source ~dests:spec.dests
 
 let run_peel engine links fabric paths cfg cc tracker (spec : Spec.collective)
     ~chunk_bytes =

@@ -1,0 +1,258 @@
+open Peel_topology
+open Peel_sim
+open Peel_workload
+
+let supported = function
+  | Scheme.Ring | Scheme.Btree | Scheme.Dbtree | Scheme.Optimal | Scheme.Peel ->
+      true
+  | Scheme.Orca | Scheme.Peel_prog_cores | Scheme.Peel_multitree _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* DAG builder: growable edge store, frozen to the CSR form Soa wants. *)
+(* ------------------------------------------------------------------ *)
+
+type builder = {
+  mutable b_links : int list;     (* reversed: head is newest edge *)
+  mutable b_delivers : int list;
+  mutable b_n : int;
+  b_succs : (int, int list) Hashtbl.t;  (* edge -> successors, reversed *)
+  mutable b_roots : int list;     (* reversed *)
+}
+
+let b_create () =
+  { b_links = []; b_delivers = []; b_n = 0; b_succs = Hashtbl.create 64; b_roots = [] }
+
+let add_edge b ~link ~deliver =
+  let e = b.b_n in
+  b.b_links <- link :: b.b_links;
+  b.b_delivers <- deliver :: b.b_delivers;
+  b.b_n <- e + 1;
+  e
+
+let add_succ b ~from ~next =
+  Hashtbl.replace b.b_succs from
+    (next :: Option.value (Hashtbl.find_opt b.b_succs from) ~default:[])
+
+let add_root b e = b.b_roots <- e :: b.b_roots
+
+let freeze b : Soa.dag =
+  let n = b.b_n in
+  let link = Array.make n 0 and deliver = Array.make n (-1) in
+  List.iteri (fun i l -> link.(n - 1 - i) <- l) b.b_links;
+  List.iteri (fun i d -> deliver.(n - 1 - i) <- d) b.b_delivers;
+  let off = Array.make (n + 1) 0 in
+  for e = 0 to n - 1 do
+    let deg =
+      match Hashtbl.find_opt b.b_succs e with
+      | None -> 0
+      | Some l -> List.length l
+    in
+    off.(e + 1) <- off.(e) + deg
+  done;
+  let succ = Array.make off.(n) 0 in
+  for e = 0 to n - 1 do
+    match Hashtbl.find_opt b.b_succs e with
+    | None -> ()
+    | Some l ->
+        List.iteri
+          (fun i s -> succ.(off.(e + 1) - 1 - i) <- s)
+          l
+  done;
+  {
+    Soa.d_link = link;
+    d_deliver = deliver;
+    d_succ_off = off;
+    d_succ = succ;
+    d_roots = Array.of_list (List.rev b.b_roots);
+  }
+
+(* A unicast logical hop: the chain of links [path], entered after
+   [incoming] arrives (or at flow release when [None]); the final link
+   delivers at [deliver] (or -1).  Returns the chain's last edge. *)
+let chain b ~incoming ~deliver path =
+  match path with
+  | [] -> invalid_arg "Par.chain: empty path"
+  | first :: rest ->
+      let e0 = add_edge b ~link:first ~deliver:(if rest = [] then deliver else -1) in
+      (match incoming with
+      | None -> add_root b e0
+      | Some e -> add_succ b ~from:e ~next:e0);
+      let rec go prev = function
+        | [] -> prev
+        | lid :: rest ->
+            let e = add_edge b ~link:lid ~deliver:(if rest = [] then deliver else -1) in
+            add_succ b ~from:prev ~next:e;
+            go e rest
+      in
+      go e0 rest
+
+(* ------------------------------------------------------------------ *)
+(* Scheme flatteners.  Edge enumeration is preorder (chains in sibling
+   order, then their subtrees), which preserves the sequential FIFO
+   order of same-instant reservations on shared links.                 *)
+(* ------------------------------------------------------------------ *)
+
+let mem_dest dest_set node = if Hashtbl.mem dest_set node then node else -1
+
+let flatten_ring fabric paths dest_set (spec : Spec.collective) =
+  let b = b_create () in
+  let r =
+    Peel_baselines.Ring.schedule fabric ~source:spec.source ~members:spec.members
+  in
+  let order = r.Peel_baselines.Ring.order in
+  let n = Array.length order in
+  let prev = ref None in
+  for i = 0 to n - 2 do
+    let path = Paths.links paths order.(i) order.(i + 1) in
+    let last =
+      chain b ~incoming:!prev ~deliver:(mem_dest dest_set order.(i + 1)) path
+    in
+    prev := Some last
+  done;
+  [| freeze b |]
+
+let flatten_btree fabric paths dest_set (spec : Spec.collective) =
+  let b = b_create () in
+  let bt =
+    Peel_baselines.Binary_tree.schedule fabric ~source:spec.source
+      ~members:spec.members
+  in
+  let order = bt.Peel_baselines.Binary_tree.order in
+  let n = Array.length order in
+  let rec emit pos ~incoming =
+    List.iter
+      (fun child ->
+        if child < n then begin
+          let path = Paths.links paths order.(pos) order.(child) in
+          let last =
+            chain b ~incoming ~deliver:(mem_dest dest_set order.(child)) path
+          in
+          emit child ~incoming:(Some last)
+        end)
+      [ (2 * pos) + 1; (2 * pos) + 2 ]
+  in
+  emit 0 ~incoming:None;
+  [| freeze b |]
+
+let flatten_dbtree fabric paths dest_set (spec : Spec.collective) =
+  let dt =
+    Peel_baselines.Double_binary_tree.schedule fabric ~source:spec.source
+      ~members:spec.members
+  in
+  let children_map edges =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (p, c) ->
+        Hashtbl.replace tbl p
+          (c :: Option.value (Hashtbl.find_opt tbl p) ~default:[]))
+      edges;
+    tbl
+  in
+  let one edges =
+    let b = b_create () in
+    let tbl = children_map edges in
+    let rec emit node ~incoming =
+      List.iter
+        (fun child ->
+          let path = Paths.links paths node child in
+          let last = chain b ~incoming ~deliver:(mem_dest dest_set child) path in
+          emit child ~incoming:(Some last))
+        (List.rev (Option.value (Hashtbl.find_opt tbl node) ~default:[]))
+    in
+    emit spec.source ~incoming:None;
+    freeze b
+  in
+  (* Even chunks ride tree A, odd chunks tree B (Shard indexes DAGs by
+     [chunk mod 2]), mirroring the sequential parity split. *)
+  [|
+    one dt.Peel_baselines.Double_binary_tree.edges_a;
+    one dt.Peel_baselines.Double_binary_tree.edges_b;
+  |]
+
+let flatten_trees dest_set trees =
+  let b = b_create () in
+  List.iter
+    (fun tree ->
+      let rec descend v ~incoming =
+        List.iter
+          (fun (child, lid) ->
+            let e = add_edge b ~link:lid ~deliver:(mem_dest dest_set child) in
+            (match incoming with
+            | None -> add_root b e
+            | Some pe -> add_succ b ~from:pe ~next:e);
+            descend child ~incoming:(Some e))
+          (Peel_steiner.Tree.children tree v)
+      in
+      descend (Peel_steiner.Tree.root tree) ~incoming:None)
+    trees;
+  [| freeze b |]
+
+let flatten_spec fabric paths scheme (spec : Spec.collective) ~chunks : Soa.flow =
+  let chunk_bytes = spec.bytes /. float_of_int chunks in
+  let dest_set = Hashtbl.create (2 * List.length spec.dests) in
+  List.iter (fun d -> Hashtbl.replace dest_set d ()) spec.dests;
+  let dags =
+    if spec.dests = [] then
+      (* Destination-less collectives complete instantly (the
+         sequential launch does the same). *)
+      [|
+        {
+          Soa.d_link = [||];
+          d_deliver = [||];
+          d_succ_off = [| 0 |];
+          d_succ = [||];
+          d_roots = [||];
+        };
+      |]
+    else
+      match scheme with
+      | Scheme.Ring -> flatten_ring fabric paths dest_set spec
+      | Scheme.Btree -> flatten_btree fabric paths dest_set spec
+      | Scheme.Dbtree -> flatten_dbtree fabric paths dest_set spec
+      | Scheme.Optimal -> (
+          match
+            Peel.multicast_tree fabric ~source:spec.source ~dests:spec.dests
+          with
+          | None -> failwith "Par: destinations unreachable (optimal)"
+          | Some tree -> flatten_trees dest_set [ tree ])
+      | Scheme.Peel -> (
+          match
+            Peel.Plan.packet_trees fabric ~source:spec.source ~dests:spec.dests
+          with
+          | [] -> failwith "Par: empty PEEL plan"
+          | trees -> flatten_trees dest_set trees)
+      | (Scheme.Orca | Scheme.Peel_prog_cores | Scheme.Peel_multitree _) as s ->
+          invalid_arg
+            (Printf.sprintf "Par.flatten: scheme %s is not shardable"
+               (Scheme.to_string s))
+  in
+  {
+    Soa.f_id = spec.id;
+    f_arrival = spec.arrival;
+    f_chunks = chunks;
+    f_chunk_bytes = chunk_bytes;
+    f_expected = chunks * List.length spec.dests;
+    f_dags = dags;
+  }
+
+let flatten fabric paths ~chunks scheme specs =
+  if chunks < 1 then invalid_arg "Par.flatten: chunks >= 1";
+  Array.of_list
+    (List.map (fun spec -> flatten_spec fabric paths scheme spec ~chunks) specs)
+
+let run ?(chunks = 8) ?(ecmp = true) ?jobs ?(audit = false) fabric scheme specs =
+  let jobs =
+    match jobs with Some j -> j | None -> Peel_util.Pool.default_jobs ()
+  in
+  let paths = Paths.create ~ecmp fabric in
+  let flows = flatten fabric paths ~chunks scheme specs in
+  let links = Soa.links_of_graph (Fabric.graph fabric) in
+  let min_bytes =
+    Array.fold_left
+      (fun acc (f : Soa.flow) -> Float.min acc f.Soa.f_chunk_bytes)
+      infinity flows
+  in
+  let min_bytes = if Float.is_finite min_bytes then min_bytes else 1.0 in
+  let sharding = Soa.shard fabric ~jobs ~min_bytes in
+  let plan = Shard.plan ~links ~sharding flows in
+  Shard.run ~audit plan

@@ -1,0 +1,53 @@
+(** Flattening collectives into {!Peel_sim.Shard} plans.
+
+    The sequential schemes in {!Broadcast} drive the engine with
+    closures; this module precomputes the same forwarding structure —
+    ring hop chains, binary/double-binary tree unicast chains, PEEL and
+    optimal multicast trees — as static {!Peel_sim.Soa} DAGs, which is
+    what lets the conservative sharded engine execute one large
+    collective across domains.
+
+    Edge enumeration is preorder-consistent with the sequential
+    engine's FIFO tie order (chunk-major, then tree-major, then
+    ascending child order), so same-instant reservations on a shared
+    link serialize identically in both modes.
+
+    Scope: the static schemes only — {!Scheme.Ring}, {!Scheme.Btree},
+    {!Scheme.Dbtree}, {!Scheme.Optimal}, {!Scheme.Peel} — with
+    congestion control off, no loss model and no fault schedule.
+    Orca and the progressive/multitree PEEL variants depend on
+    controller RNG draws interleaved with simulation time and stay on
+    the sequential path. *)
+
+open Peel_topology
+open Peel_workload
+
+val supported : Scheme.t -> bool
+(** Whether {!flatten} can express the scheme. *)
+
+val flatten :
+  Fabric.t ->
+  Paths.t ->
+  chunks:int ->
+  Scheme.t ->
+  Spec.collective list ->
+  Peel_sim.Soa.flow array
+(** One {!Peel_sim.Soa.flow} per collective, list order.  Uses the
+    given path cache (so ECMP picks match a sequential run configured
+    the same way).  Raises [Invalid_argument] on an unsupported scheme
+    or [chunks < 1]; [Failure] when a destination is unreachable. *)
+
+val run :
+  ?chunks:int ->
+  ?ecmp:bool ->
+  ?jobs:int ->
+  ?audit:bool ->
+  Fabric.t ->
+  Scheme.t ->
+  Spec.collective list ->
+  Peel_sim.Shard.result
+(** Flatten and execute on [min jobs (pods fabric)] shards ([jobs]
+    defaults to {!Peel_util.Pool.default_jobs}; [chunks] defaults to 8
+    and [ecmp] to [true], matching {!Runner.run}).  [audit] collects
+    per-window causality evidence for SIM008.  The result is
+    bit-identical for every [jobs] value. *)

@@ -66,6 +66,28 @@ let run_custom ?(chunks = 8) ?(cc = Broadcast.No_cc) ?(controller_seed = 1234)
   end;
   { ccts; events = Engine.events_processed engine; makespan; telemetry; trace }
 
+let run_sharded ?chunks ?ecmp ?jobs ?audit fabric scheme collectives =
+  (* Collect causality evidence whenever the check layer is armed, so
+     the SIM008 lint below has something to audit. *)
+  let audit =
+    match audit with Some a -> a | None -> Peel_check.enabled ()
+  in
+  let r = Par.run ?chunks ?ecmp ?jobs ~audit fabric scheme collectives in
+  let makespan = r.Shard.r_makespan in
+  let telemetry =
+    Telemetry.of_busy (Fabric.graph fabric) ~busy:r.Shard.r_busy
+      ~horizon:(Float.max makespan 1e-9)
+  in
+  let ccts = Array.to_list r.Shard.r_ccts in
+  if Peel_check.enabled () then begin
+    Peel_check.assert_valid ~what:"sharded simulation outcome"
+      (Peel_check.Check_sim.check_outcome ~expected:(List.length collectives)
+         ~ccts ~makespan telemetry);
+    Peel_check.assert_valid ~what:"shard-boundary causality"
+      (Peel_check.Check_sim.check_shard r)
+  end;
+  { ccts; events = r.Shard.r_events; makespan; telemetry; trace = Trace.null }
+
 let run ?chunks ?cc ?controller_seed ?controller ?loss ?ecmp ?trace fabric
     scheme collectives =
   run_custom ?chunks ?cc ?controller_seed ?controller ?loss ?ecmp ?trace fabric

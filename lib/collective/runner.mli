@@ -38,6 +38,35 @@ val run :
     With [PEEL_CHECK=1] the trace is additionally linted post-run
     ({!Peel_check.Check_sim.check_trace}). *)
 
+val run_sharded :
+  ?chunks:int ->
+  ?ecmp:bool ->
+  ?jobs:int ->
+  ?audit:bool ->
+  Fabric.t ->
+  Scheme.t ->
+  Spec.collective list ->
+  outcome
+(** Like {!run}, but on the conservative sharded engine
+    ({!Par.run} / {!Peel_sim.Shard}): the event loop is partitioned by
+    pod and windows advance under the fabric's minimum cross-pod
+    lookahead.  Results are bit-identical for every [jobs] value
+    ([jobs] defaults to {!Peel_util.Pool.default_jobs}); versus {!run}
+    they coincide except when two collectives' reservations collide at
+    exactly equal float timestamps on a shared link, where the two
+    engines apply different (each deterministic) FIFO tie orders.
+
+    Only the static schemes are supported ({!Par.supported});
+    congestion control, loss, faults and tracing are not available on
+    this path — [telemetry] carries per-link utilization only and
+    [trace] is {!Peel_sim.Trace.null}.  Raises [Invalid_argument] on an
+    unsupported scheme.
+
+    [audit] (default: whether [PEEL_CHECK] is armed) collects
+    per-window causality evidence; with [PEEL_CHECK=1] the outcome and
+    the evidence are linted post-run
+    ({!Peel_check.Check_sim.check_shard}, SIM008). *)
+
 val run_custom :
   ?chunks:int ->
   ?cc:Broadcast.cc ->

@@ -95,6 +95,7 @@ val entry_bytes : m:int -> int
     bytes. *)
 
 val table_bytes : table -> int
+(** {!entry_bytes} summed over the table's entries. *)
 
 val footprint : t -> (switch * int * int) list
 (** Per switch: [(switch, entries, bytes)], in table order. *)
@@ -104,9 +105,11 @@ val max_entries : t -> int
     budget. *)
 
 val total_entries : t -> int
+(** Entries summed over every compiled table. *)
 
 val fits : t -> bool
 (** Every table within [capacity] ([true] when no capacity was
     given). *)
 
 val find_table : t -> switch -> table option
+(** The compiled table installed at [switch], if any. *)

@@ -135,6 +135,10 @@ let packet_tree fabric ~source packet =
   if dests = [] then None
   else Peel_steiner.Layer_peel.build (Fabric.graph fabric) ~source ~dests
 
+let packet_trees fabric ~source ~dests =
+  let plan = build fabric ~source ~dests in
+  List.filter_map (fun packet -> packet_tree fabric ~source packet) plan.packets
+
 let validate fabric t =
   let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
   (* Every destination in exactly one packet. *)

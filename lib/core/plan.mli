@@ -63,6 +63,14 @@ val packet_tree :
     greedy so it routes around failures; spans the packet's member
     endpoints and its over-covered racks.  [None] if unreachable. *)
 
+val packet_trees :
+  Fabric.t -> source:int -> dests:int list -> Peel_steiner.Tree.t list
+(** Build a plan and return every packet's tree, plan order — the
+    per-packet forwarding state both the sequential broadcast scheme
+    and the sharded flattener ({!Peel_collective.Par}) replay.
+    Unreachable packets are dropped (an empty list means no
+    destination is reachable). *)
+
 val validate : Fabric.t -> t -> (unit, string) result
 (** Cross-checks the plan: every destination is covered by exactly one
     packet, and waste racks carry no members. *)

@@ -17,9 +17,12 @@
 
 open Peel_sim
 
+(** Which rules a group's chunks currently ride: the pre-installed
+    static prefixes, or its exact per-group entries. *)
 type stage = Static | Refined
 
 val stage_to_string : stage -> string
+(** ["static"] / ["refined"], as printed in tables and traces. *)
 
 type config = {
   rpc : float;       (** controller-to-switch RPC round, seconds *)
@@ -37,13 +40,20 @@ val default_config : config
     targets). *)
 
 type t
+(** The controller's mutable state: group registry, pending installs
+    and the optional TCAM. *)
 
 val create : ?trace:Trace.t -> config -> t
 (** Raises [Invalid_argument] on negative or non-finite latencies. *)
 
 val config : t -> config
+(** The configuration the controller was created with. *)
+
 val tcam : t -> Tcam.t option
+(** The live TCAM model ([None] when [capacity <= 0]). *)
+
 val budget : t -> int option
+(** The static-stage prefix budget from the config. *)
 
 val install_latency : t -> nrules:int -> float
 (** [rpc + nrules * per_rule]. *)
@@ -69,4 +79,8 @@ val release : t -> gid:int -> unit
     install from landing.  Voluntary, so no [Evict] event. *)
 
 val installs : t -> int
+(** Total TCAM entries ever installed. *)
+
 val evictions : t -> int
+(** Groups forced back to [Static] by TCAM pressure (departures are
+    not counted). *)

@@ -18,11 +18,18 @@ open Peel_topology
 open Peel_sim
 open Peel_workload
 
+(** The three contenders sharing one group schedule (see the module
+    header). *)
 type scheme = Peel_static | Peel_refined | Ipmc
 
 val all_schemes : scheme list
+(** Every scheme, in table order. *)
+
 val scheme_to_string : scheme -> string
+(** CLI/table name, e.g. ["peel-refined"]. *)
+
 val scheme_of_string : string -> scheme option
+(** Inverse of {!scheme_to_string}; [None] on an unknown name. *)
 
 type report = {
   r_gid : int;
@@ -58,5 +65,11 @@ val run :
     outcome. *)
 
 val total_overcover_bytes : outcome -> float
+(** Bytes landed on memberless racks, summed over every group. *)
+
 val static_chunks : outcome -> int
+(** Chunks released on static prefix rules, summed over every group. *)
+
 val refined_chunks : outcome -> int
+(** Chunks released on exact per-group trees, summed over every
+    group. *)

@@ -13,18 +13,26 @@
     module) decides what an eviction means for the victim group —
     here it is pure table bookkeeping. *)
 
+(** Eviction-victim selection (see the module header for the rules). *)
 type policy = Lru | Bytes_weighted
 
 val policy_to_string : policy -> string
+(** ["lru"] / ["bytes"], as accepted by the CLI. *)
+
 val policy_of_string : string -> policy option
+(** Inverse of {!policy_to_string}; [None] on an unknown name. *)
 
 type t
+(** The mutable table state across every switch. *)
 
 val create : capacity:int -> policy:policy -> t
 (** Raises [Invalid_argument] if [capacity < 1]. *)
 
 val capacity : t -> int
+(** The per-switch entry budget. *)
+
 val policy : t -> policy
+(** The eviction policy. *)
 
 val install : t -> now:float -> switch:int -> group:int -> int list
 (** Install [group]'s entry at [switch], evicting victims as needed.
@@ -51,7 +59,10 @@ val remove_group : t -> group:int -> int
     evictions. *)
 
 val holds : t -> switch:int -> group:int -> bool
+(** Whether [group]'s entry is currently installed at [switch]. *)
+
 val used : t -> switch:int -> int
+(** Entries currently installed at [switch]. *)
 
 val occupancy : t -> (int * int) list
 (** [(switch, entries)] pairs, ascending switch id. *)

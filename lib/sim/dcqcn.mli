@@ -14,6 +14,7 @@
     and a floor at 1/1000 of line rate. *)
 
 type t
+(** One sender's rate-control state. *)
 
 val default_guard : float
 (** 50e-6 seconds, the paper's value. *)

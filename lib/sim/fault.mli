@@ -16,6 +16,7 @@
     {!schedule_of_failures} convenience), so the same schedule replays
     bit-identically: same seed + same schedule => same trace. *)
 
+(** What happens to the duplex pair at the event's instant. *)
 type action = Fail | Recover
 
 type event = {
@@ -35,6 +36,7 @@ val events : t -> event list
 (** The schedule's events in application order. *)
 
 val is_empty : t -> bool
+(** [true] iff the schedule carries no events. *)
 
 val schedule_of_failures :
   at:float -> ?recover_at:float -> int list -> t

@@ -10,6 +10,8 @@
 open Peel_topology
 
 type t
+(** Mutable per-link state for one run: free times, busy-seconds
+    accounting, up/down flags and failure epochs. *)
 
 type reservation = {
   start : float;       (** when the first byte leaves *)
@@ -58,3 +60,5 @@ val utilization : t -> link:int -> horizon:float -> float
 (** [busy_seconds / horizon]. *)
 
 val reset : t -> unit
+(** Clear all free times, busy accounting and failure state for a
+    fresh run on the same graph. *)

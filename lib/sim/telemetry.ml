@@ -46,6 +46,29 @@ let snapshot g links ~horizon =
   in
   { reports }
 
+let of_busy g ~busy ~horizon =
+  if horizon <= 0.0 then invalid_arg "Telemetry.of_busy: horizon > 0";
+  let n = Graph.num_links g in
+  if Array.length busy <> n then
+    invalid_arg "Telemetry.of_busy: busy length <> num_links";
+  let reports =
+    Array.init n (fun lid ->
+        let l = Graph.link g lid in
+        {
+          link = lid;
+          src = l.Graph.src;
+          dst = l.Graph.dst;
+          tier = tier_of g lid;
+          utilization = busy.(lid) /. horizon;
+          reservations = 0;
+          bytes = 0.0;
+          ecn_marks = 0;
+          max_backlog = 0.0;
+          mean_queue_delay = 0.0;
+        })
+  in
+  { reports }
+
 let reports t = t.reports
 
 let hottest t ~n =

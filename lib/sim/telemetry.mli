@@ -26,6 +26,7 @@ type link_report = {
 }
 
 type t
+(** A frozen set of per-link reports over one observation horizon. *)
 
 val snapshot : Graph.t -> Link_state.t -> horizon:float -> t
 (** [horizon] is the observation window (typically the simulation
@@ -33,6 +34,14 @@ val snapshot : Graph.t -> Link_state.t -> horizon:float -> t
     trace-derived fields come from the link state's attached trace
     ({!Link_state.trace}) and are zero when tracing was off or below
     [Full]. *)
+
+val of_busy : Graph.t -> busy:float array -> horizon:float -> t
+(** Build telemetry from a per-link busy-seconds array — how the
+    sharded engine ({!Peel_sim.Shard}) reports, since it accounts busy
+    time directly instead of through {!Link_state}.  Trace-derived
+    fields (reservations, bytes, ECN, backlog) are zero.  Raises
+    [Invalid_argument] on a non-positive [horizon] or a length
+    mismatch against [Graph.num_links]. *)
 
 val reports : t -> link_report array
 (** One report per directed link, indexed by link id. *)
@@ -50,6 +59,8 @@ val max_utilization : t -> float
     invariant violation {!Peel_check.Check_sim.check_outcome} flags. *)
 
 val link_report_to_json : link_report -> Peel_util.Json.t
+(** One report as a flat JSON object (the [links] rows of the trace
+    export). *)
 
 val to_json : t -> Peel_util.Json.t
 (** All link reports as a JSON array (the ["links"] section of the

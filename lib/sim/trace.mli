@@ -28,6 +28,9 @@
     emitting layer cannot attribute to a flow (e.g. a per-hop unicast
     retransmission deep inside {!Transfer}). *)
 
+(** Verbosity: [Off] does no work, [Counters] keeps the aggregate
+    {!counters} in O(1) memory, [Full] additionally records the event
+    log. *)
 type level = Off | Counters | Full
 
 type kind =
@@ -69,6 +72,7 @@ type kind =
           group falls back to static prefix rules *)
 
 type event = { time : float; kind : kind }
+(** One log entry, stamped with simulation time. *)
 
 (** Aggregate counters, updated on every emit at [Counters] and [Full]
     (exact regardless of sampling).  [engine_events] and
@@ -95,6 +99,8 @@ type counters = {
 }
 
 type t
+(** A trace sink: a verbosity level, the counters, and (at [Full]) the
+    growing event log. *)
 
 val create : ?level:level -> ?sample:int -> unit -> t
 (** [level] defaults to [Full]; [sample] (default 1) records every Nth
@@ -107,7 +113,10 @@ val enabled : t -> bool
 (** [level t <> Off]. *)
 
 val level : t -> level
+(** The verbosity the trace was created with. *)
+
 val sample : t -> int
+(** The [Reserve]-sampling stride (1 = record every reservation). *)
 
 val counters : t -> counters
 (** The live counter record (all zero on an [Off] trace). *)
@@ -116,6 +125,7 @@ val events : t -> event array
 (** Recorded events in emit order (a copy; empty below [Full]). *)
 
 val num_events : t -> int
+(** Number of recorded events (0 below [Full]). *)
 
 val sampled_out : t -> int
 (** [Reserve] emissions the sampling knob skipped (so
@@ -129,6 +139,8 @@ val sampled_out : t -> int
 val reserve :
   t -> time:float -> link:int -> bytes:float -> queue_delay:float ->
   backlog:float -> unit
+(** A chunk of [bytes] claimed [link]; subject to the sampling knob
+    (counters stay exact). *)
 
 val ecn_mark : t -> time:float -> link:int -> flow:int -> chunk:int -> unit
 (** A chunk of [flow] saw over-threshold queueing delay on [link]. *)
@@ -140,16 +152,26 @@ val release : t -> time:float -> flow:int -> chunk:int -> rate:float -> unit
 (** The source of [flow] emitted [chunk], paced at [rate] bytes/s. *)
 
 val cnp : t -> time:float -> flow:int -> unit
+(** A congestion notification reached [flow]'s sender. *)
+
 val rate_cut : t -> time:float -> flow:int -> rate:float -> unit
+(** DCQCN cut [flow]'s sending rate to [rate] bytes/s. *)
+
 val guard_hold : t -> time:float -> flow:int -> unit
+(** The §4 guard timer suppressed a rate cut for [flow]. *)
+
 val drop : t -> time:float -> link:int -> unit
+(** The loss model dropped a chunk on [link]. *)
+
 val retransmit : t -> time:float -> flow:int -> node:int -> unit
+(** A repair send for [flow] from [node] ([-1] = unattributed). *)
 
 val link_fail : t -> time:float -> link:int -> unit
 (** A fault schedule took a duplex pair down; [link] should be the even
     direction's id (see {!Peel_topology.Graph.duplex_ids}). *)
 
 val link_recover : t -> time:float -> link:int -> unit
+(** The duplex pair containing [link] came back up. *)
 
 val replan : t -> time:float -> flow:int -> cost:int -> unit
 (** The controller swapped [flow]'s multicast tree for a re-peeled one

@@ -1,0 +1,211 @@
+(* Calendar queue (Brown 1988): an array of day buckets, each a sorted
+   singly-linked list.  An event with priority [p] lives in bucket
+   [day p mod days] where [day p = floor (p / width)]; the pop cursor
+   walks days in order, so each pop touches only the bucket whose day
+   is current.  Because [day] is a monotone function of priority, a
+   bucket head whose day matches the cursor is the global minimum:
+   every other queued node has a day >= the cursor's, and a strictly
+   larger day implies a strictly larger priority.
+
+   Ordering is (priority, insertion seq) lexicographic — exactly the
+   Pairing_heap contract — with bucket lists kept sorted by that key,
+   so FIFO tie-breaking survives bucket hashing and resizes. *)
+
+type 'a node = {
+  n_prio : float;
+  n_seq : int;
+  n_value : 'a;
+  mutable n_next : 'a node option;
+}
+
+type 'a t = {
+  mutable buckets : 'a node option array;
+  mutable width : float;         (* day length in priority units *)
+  mutable size : int;
+  mutable next_seq : int;        (* global FIFO tie-breaker *)
+  mutable vday : int;            (* scan cursor; no queued day is below it *)
+  mutable scans : int;           (* empty buckets passed since last hit *)
+  mutable grow_at : int;
+}
+
+let initial_days = 2
+let initial_width = 1e-6
+
+let create () =
+  {
+    buckets = Array.make initial_days None;
+    width = initial_width;
+    size = 0;
+    next_seq = 0;
+    vday = 0;
+    scans = 0;
+    grow_at = 2 * initial_days;
+  }
+
+(* Clamp so [int_of_float] stays well inside the int range even for
+   absurd priority/width ratios; the clamp is monotone, which is all
+   correctness needs. *)
+let day t p =
+  let d = Float.floor (p /. t.width) in
+  if d >= 4.0e18 then max_int / 2
+  else if d <= -4.0e18 then -(max_int / 2)
+  else int_of_float d
+
+let bucket_of t d =
+  let n = Array.length t.buckets in
+  let m = d mod n in
+  if m < 0 then m + n else m
+
+let lt_key p1 s1 p2 s2 = p1 < p2 || (p1 = p2 && s1 < s2)
+
+(* Insert into bucket [b] keeping (prio, seq) sorted order.  [seq] is
+   globally fresh, so "before the first strictly greater priority" is
+   FIFO-correct. *)
+let insert_sorted t b node =
+  let p = node.n_prio and s = node.n_seq in
+  match t.buckets.(b) with
+  | None -> t.buckets.(b) <- Some node
+  | Some head when lt_key p s head.n_prio head.n_seq ->
+      node.n_next <- Some head;
+      t.buckets.(b) <- Some node
+  | Some head ->
+      let cur = ref head in
+      let continue = ref true in
+      while !continue do
+        match !cur.n_next with
+        | Some nxt when not (lt_key p s nxt.n_prio nxt.n_seq) -> cur := nxt
+        | _ ->
+            node.n_next <- !cur.n_next;
+            !cur.n_next <- Some node;
+            continue := false
+      done
+
+(* Rebuild with [ndays] buckets and a width fitted to the current
+   population: aim for ~1/3 of an event per day over the live span, so
+   a pop rarely scans more than a few empty days.  The floor keeps
+   [day] finite-ranged even when every priority coincides. *)
+let resize t ndays =
+  let nodes = Array.make t.size None in
+  let k = ref 0 in
+  Array.iter
+    (fun head ->
+      let cur = ref head in
+      let continue = ref true in
+      while !continue do
+        match !cur with
+        | Some nd ->
+            nodes.(!k) <- Some nd;
+            incr k;
+            cur := nd.n_next
+        | None -> continue := false
+      done)
+    t.buckets;
+  let prio_of = function Some nd -> nd.n_prio | None -> 0.0 in
+  let lo = ref infinity and hi = ref neg_infinity in
+  Array.iter
+    (fun nd ->
+      let p = prio_of nd in
+      if p < !lo then lo := p;
+      if p > !hi then hi := p)
+    nodes;
+  let span = !hi -. !lo in
+  let floor_w = (1.0 +. Float.abs !hi +. Float.abs !lo) *. 1e-12 in
+  let fitted = if t.size > 0 then span *. 3.0 /. float_of_int t.size else 0.0 in
+  t.width <- Float.max floor_w (Float.max fitted 1e-300);
+  t.buckets <- Array.make ndays None;
+  t.grow_at <- 2 * ndays;
+  Array.sort
+    (fun a b ->
+      match (a, b) with
+      | Some a, Some b ->
+          let c = Float.compare a.n_prio b.n_prio in
+          if c <> 0 then c else Int.compare a.n_seq b.n_seq
+      | _ -> 0)
+    nodes;
+  (* Append in globally sorted order via per-bucket tails: each list
+     comes out sorted without per-node search. *)
+  let tails = Array.make ndays None in
+  Array.iter
+    (fun nd ->
+      match nd with
+      | None -> ()
+      | Some node ->
+          node.n_next <- None;
+          let b = bucket_of t (day t node.n_prio) in
+          (match tails.(b) with
+          | None -> t.buckets.(b) <- Some node
+          | Some tl -> tl.n_next <- Some node);
+          tails.(b) <- Some node)
+    nodes;
+  t.vday <- (if t.size > 0 then day t !lo else 0);
+  t.scans <- 0
+
+let push t prio value =
+  let node = { n_prio = prio; n_seq = t.next_seq; n_value = value; n_next = None } in
+  t.next_seq <- t.next_seq + 1;
+  let d = day t prio in
+  if t.size = 0 || d < t.vday then t.vday <- d;
+  insert_sorted t (bucket_of t d) node;
+  t.size <- t.size + 1;
+  if t.size > t.grow_at then resize t (2 * Array.length t.buckets)
+
+(* Point the cursor at the bucket holding the global minimum.  Linear
+   in the bucket count; only taken after a full lap of empty scans,
+   i.e. when the population is much sparser than the calendar. *)
+let direct_search t =
+  let best = ref None in
+  Array.iter
+    (fun head ->
+      match (head, !best) with
+      | Some nd, Some b ->
+          if lt_key nd.n_prio nd.n_seq b.n_prio b.n_seq then best := head
+      | Some _, None -> best := head
+      | None, _ -> ())
+    t.buckets;
+  (match !best with Some nd -> t.vday <- day t nd.n_prio | None -> ());
+  t.scans <- 0
+
+(* Advance the cursor to the bucket whose head is due and return that
+   head (the global minimum).  Invariant: no queued node's day is below
+   [vday], so skipping a bucket whose head is in a later day is safe. *)
+let find_min t =
+  if t.size = 0 then None
+  else begin
+    let n = Array.length t.buckets in
+    let rec loop () =
+      let b = bucket_of t t.vday in
+      match t.buckets.(b) with
+      | Some head when day t head.n_prio = t.vday ->
+          t.scans <- 0;
+          Some (b, head)
+      | _ ->
+          t.vday <- t.vday + 1;
+          t.scans <- t.scans + 1;
+          if t.scans > n then direct_search t;
+          loop ()
+    in
+    loop ()
+  end
+
+let pop t =
+  match find_min t with
+  | None -> None
+  | Some (b, head) ->
+      t.buckets.(b) <- head.n_next;
+      head.n_next <- None;
+      t.size <- t.size - 1;
+      Some (head.n_prio, head.n_value)
+
+let peek t =
+  match find_min t with
+  | None -> None
+  | Some (_, head) -> Some (head.n_prio, head.n_value)
+
+let is_empty t = t.size = 0
+let length t = t.size
+
+let clear t =
+  Array.fill t.buckets 0 (Array.length t.buckets) None;
+  t.size <- 0;
+  t.vday <- 0;
+  t.scans <- 0

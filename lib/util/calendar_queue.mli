@@ -1,0 +1,43 @@
+(** Calendar-queue priority queue (Brown, CACM 1988) with the same
+    interface and ordering contract as {!Pairing_heap}.
+
+    Events hash into an array of day buckets by
+    [floor (priority / width) mod days]; a pop scans forward from the
+    current day and only consults the one bucket whose day matches, so
+    push and pop are O(1) amortized when priorities advance roughly
+    uniformly — the regime of a large discrete-event run, where the
+    binary heap pays O(log n) per operation.  The bucket [width] and
+    day count adapt to the live event population on resize.
+
+    The observable ordering is {e identical} to {!Pairing_heap}: strict
+    minimum-priority first, FIFO among equal priorities (a global
+    insertion sequence number breaks ties).  The simulator may therefore
+    substitute one queue for the other without changing any simulation
+    result (property-tested in [test/test_parsim.ml]). *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty queue.  Bucket geometry starts small and adapts as the
+    population grows past powers of two. *)
+
+val push : 'a t -> float -> 'a -> unit
+(** [push t p x] inserts [x] with priority [p].  [p] may be any finite
+    float, including values below the current minimum. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element; FIFO among equal
+    priorities.  [None] when empty. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Like {!pop} without removing the element. *)
+
+val is_empty : 'a t -> bool
+(** [true] iff no elements are queued. *)
+
+val length : 'a t -> int
+(** Number of queued elements. *)
+
+val clear : 'a t -> unit
+(** Drop all elements; bucket geometry and the FIFO sequence counter
+    are retained. *)

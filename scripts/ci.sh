@@ -4,9 +4,11 @@
 #   1. build   — dune build (strict warnings are errors)
 #   2. test    — dune runtest (unit, property, and differential suites)
 #   3. lint    — scripts/lint.sh (static invariant battery: @check-lint,
-#                @trace-smoke, @failover-smoke, @ctrl-smoke,
-#                @compile-smoke, diagnostic-code suites, docs gate)
-#   4. bench   — scripts/bench_guard.sh (deterministic drift guard
+#                @trace-smoke, @par-smoke, @failover-smoke, @ctrl-smoke,
+#                @compile-smoke, diagnostic-code suites)
+#   4. docs    — scripts/docs.sh (@doc build; when odoc is installed
+#                the rendering must be warning-free)
+#   5. bench   — scripts/bench_guard.sh (deterministic drift guard
 #                against the committed BENCH.json)
 #
 # Each stage is timed; the script exits non-zero at the first failure.
@@ -26,5 +28,6 @@ stage() {
 stage build dune build
 stage test dune runtest
 stage lint sh scripts/lint.sh
+stage docs sh scripts/docs.sh
 stage bench sh scripts/bench_guard.sh
 echo "ci.sh: all stages passed"

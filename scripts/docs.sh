@@ -1,17 +1,40 @@
 #!/bin/sh
 # Documentation and observability gate:
-#   - `dune build @doc` must succeed (and, when odoc is installed,
-#     render the API docs warning-free; without odoc the alias is
-#     empty and this only checks the build graph)
+#   - `dune build @doc` must succeed, and when odoc is installed the
+#     rendering (public @doc and private @doc-private) must be
+#     WARNING-FREE: odoc warnings (broken {!references}, missing
+#     doc-comments on exposed items, bad markup) are promoted to
+#     failures here, since odoc itself exits 0 on them. Without odoc
+#     the @doc alias is empty and this only checks the build graph.
 #   - the @trace-smoke alias runs a small traced simulation end to end
 #     under PEEL_CHECK=1 and lints the exported trace (SIM005/SIM006)
-# Exits non-zero on the first failure.
+# Exits non-zero on the first failure or odoc warning.
 set -eu
 cd "$(dirname "$0")/.."
 
-dune build @doc
+build_warning_free() {
+  alias=$1
+  log=$(mktemp)
+  # dune reports odoc warnings on stderr but still exits 0; capture
+  # and grep so a warning fails the gate.
+  if ! dune build "$alias" >"$log" 2>&1; then
+    cat "$log"
+    rm -f "$log"
+    echo "docs.sh: dune build $alias failed" >&2
+    exit 1
+  fi
+  if grep -qiE "^(File |.*[Ww]arning)" "$log"; then
+    cat "$log"
+    rm -f "$log"
+    echo "docs.sh: odoc warnings in $alias are treated as errors" >&2
+    exit 1
+  fi
+  rm -f "$log"
+}
+
+build_warning_free @doc
 if command -v odoc >/dev/null 2>&1; then
-  dune build @doc-private
+  build_warning_free @doc-private
 else
   echo "docs.sh: odoc not installed; skipped @doc-private rendering"
 fi

@@ -5,26 +5,24 @@
 # (SIM005/SIM006), the @failover-smoke alias lints mid-run failure
 # injection with re-peeling (SIM007/TREE006), the @ctrl-smoke alias
 # lints the two-stage refinement control plane (CTRL001-005), the
+# @par-smoke alias verifies the conservative sharded engine (jobs=1 vs
+# jobs=4 bit-equality plus the SIM008 window-causality lint), the
 # @compile-smoke alias certifies the fleet-level rule compiler and
 # proves every seeded table corruption is caught by its CMP code
 # (CMP001-005), and the unit suite exercises every diagnostic code. The experiment-harness
 # suite carries the parallel-sweep determinism gate: it re-runs the
 # fig5 sweep under 1 and 4 worker domains and fails unless the rows
-# are bit-identical. When odoc is installed the documentation gate
-# (scripts/docs.sh) must also pass.
+# are bit-identical. The documentation gate lives in scripts/docs.sh
+# (its own ci.sh stage).
 # Exits non-zero on the first violated invariant.
 set -eu
 cd "$(dirname "$0")/.."
 dune build @check-lint
 dune build @trace-smoke
+dune build @par-smoke
 dune build @failover-smoke
 dune build @ctrl-smoke
 dune build @compile-smoke
 dune exec test/test_check.exe -- -c
 dune exec test/test_compile.exe -- -c
 dune exec test/test_experiments.exe -- -c
-if command -v odoc >/dev/null 2>&1; then
-  sh scripts/docs.sh
-else
-  echo "lint.sh: odoc not installed; skipped the docs gate (scripts/docs.sh)"
-fi
