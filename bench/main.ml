@@ -48,6 +48,7 @@ let experiments : (string * string * (Common.mode -> unit)) list =
     ("refine", "E17 (ext): two-stage refinement control plane", Exp_refine.run);
     ("compile", "E18 (ext): rule compiler vs TCAM budget", Exp_compile.run);
     ("scale", "E19 (ext): sharded-engine scale sweep, k=16/32/64", Exp_scale.run);
+    ("service", "E20 (ext): open-loop service control plane", Exp_service.run);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -229,7 +230,7 @@ let baseline_wall_for baseline ~mode name =
       | _ -> None)
 
 let write_bench_json ~mode ~baseline ~exp_times ~micro ~headline ~failover
-    ~refinement ~compile ~scale ~scale_speedup ~total =
+    ~refinement ~compile ~scale ~scale_speedup ~service ~service_slo ~total =
   let opt_num = function Some x -> Json.num x | None -> Json.Null in
   let experiment_entry (name, wall) =
     let speedup =
@@ -262,6 +263,8 @@ let write_bench_json ~mode ~baseline ~exp_times ~micro ~headline ~failover
          ("compile", compile);
          ("scale", scale);
          ("scale_speedup", scale_speedup);
+         ("service", service);
+         ("service_slo", service_slo);
          ("total_wall_s", Json.num total);
        ]
       @
@@ -385,8 +388,16 @@ let run_guard () =
           (Json.member "scale" doc)
           (Exp_scale.rows_json Common.Quick)
       in
+      (* The service rows fold delta re-peeling, sharded compiles and
+         TCAM admission into one fingerprinted record; the wall-clock
+         "service_slo" section is NOT guarded. *)
+      let service =
+        guard_section "service"
+          (Json.member "service" doc)
+          (Exp_service.rows_json Common.Quick)
+      in
       let failures =
-        headline + failover + refinement + compile + scale
+        headline + failover + refinement + compile + scale + service
         + guard_jobs_determinism ()
       in
       if failures > 0 then begin
@@ -463,8 +474,10 @@ let () =
     let compile = Exp_compile.rows_json Common.Quick in
     let scale = Exp_scale.rows_json Common.Quick in
     let scale_speedup = Exp_scale.speedup_json Common.Quick in
+    let service = Exp_service.rows_json Common.Quick in
+    let service_slo = Exp_service.slo_json Common.Quick in
     let total = Unix.gettimeofday () -. t0 in
     write_bench_json ~mode ~baseline ~exp_times ~micro ~headline ~failover
-      ~refinement ~compile ~scale ~scale_speedup ~total;
+      ~refinement ~compile ~scale ~scale_speedup ~service ~service_slo ~total;
     Printf.printf "\ntotal wall time: %.1f s (BENCH.json written)\n" total
   end

@@ -7,6 +7,7 @@
      trace      — run one workload with tracing on; export JSON/CSV
      failover   — inject a scheduled mid-run link failure and re-peel
      refine     — two-stage refinement control plane under group churn
+     serve      — open-loop multicast-as-a-service controller (SVC lints)
      state      — switch-state and header accounting for a fat-tree degree
      experiment — regenerate a paper table/figure by name
 
@@ -925,6 +926,218 @@ let refine_cmd =
       $ policy $ budget $ quiet)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let open Peel_ctrl in
+  let events =
+    Arg.(
+      value & opt int 2000
+      & info [ "events" ] ~doc:"Stream events to process before stopping.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 400.0
+      & info [ "rate" ] ~doc:"Group arrivals per second (Poisson).")
+  in
+  let size_mb =
+    Arg.(value & opt float 1.0 & info [ "size" ] ~doc:"Message size in MB.")
+  in
+  let hold =
+    Arg.(
+      value & opt float 0.5
+      & info [ "hold" ] ~doc:"Mean group lifetime after arrival (s).")
+  in
+  let churn =
+    Arg.(
+      value & opt float 80.0
+      & info [ "churn" ] ~doc:"Join/leave deltas per group per second.")
+  in
+  let sends =
+    Arg.(
+      value & opt float 40.0
+      & info [ "sends" ] ~doc:"Multicast sends per group per second.")
+  in
+  let fragmentation =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fragmentation" ]
+          ~doc:"Fraction of servers relocated off the contiguous placement.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 1024
+      & info [ "capacity" ]
+          ~doc:"Per-switch TCAM entry budget (<= 0 = everything unicast).")
+  in
+  let policy =
+    let parse s =
+      match Tcam.policy_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "unknown eviction policy %S" s))
+    in
+    let print fmt p = Format.pp_print_string fmt (Tcam.policy_to_string p) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Tcam.Lru
+      & info [ "policy" ] ~docv:"POLICY" ~doc:"Eviction policy: lru or bytes.")
+  in
+  let admission =
+    let parse s =
+      match Service.admission_of_string s with
+      | Some a -> Ok a
+      | None -> Error (`Msg (Printf.sprintf "unknown admission policy %S" s))
+    in
+    let print fmt a =
+      Format.pp_print_string fmt (Service.admission_to_string a)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Service.Evict
+      & info [ "admission" ] ~docv:"POLICY"
+          ~doc:"Admission under saturation: evict or deny.")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batch" ]
+          ~doc:
+            "Pending installs per compile flush (default: \\$(b,PEEL_SERVE_BATCH) \
+             or 8).")
+  in
+  let budget =
+    Arg.(
+      value & opt int 1
+      & info [ "budget" ] ~doc:"ToR-prefix budget for compiled plans (0 = exact).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the verdict line.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the SLO record as JSON instead of a table.")
+  in
+  let run fabric seed scale events rate size_mb hold churn sends fragmentation
+      capacity policy admission batch budget quiet json jobs =
+    let module D = Peel_check.Diagnostic in
+    let module Json = Peel_util.Json in
+    apply_jobs jobs;
+    let cfg =
+      {
+        Service.default_config with
+        Service.capacity;
+        policy;
+        admission;
+        batch = Option.value batch ~default:Service.default_config.Service.batch;
+        budget = (if budget <= 0 then None else Some budget);
+      }
+    in
+    let tenants =
+      [
+        Stream.tenant ~rate ~scale ~bytes:(size_mb *. 1e6) ~hold ~churn ~sends
+          ~fragmentation ();
+      ]
+    in
+    let serve jobs =
+      let stream = Stream.create fabric (Rng.create seed) ~tenants () in
+      Service.run ~cfg ~jobs fabric ~events stream
+    in
+    (* The SVC005 replay contract: a single-domain run and a pool-sized
+       run must produce byte-identical decision logs. *)
+    let out1 = serve 1 in
+    let out = serve (Peel_util.Pool.default_jobs ()) in
+    let s = out.Service.o_slo in
+    if not quiet && not json then begin
+      Printf.printf "fabric: %s; %d-GPU groups at %.0f/s, %.0f MB sends\n"
+        (Fabric.describe fabric) scale rate size_mb;
+      Printf.printf
+        "service: TCAM %d (%s, %s), batch %d, prefix budget %s, %d domain(s)\n\n"
+        capacity
+        (Tcam.policy_to_string policy)
+        (Service.admission_to_string admission)
+        cfg.Service.batch
+        (match cfg.Service.budget with
+        | None -> "exact"
+        | Some b -> string_of_int b)
+        (Peel_util.Pool.default_jobs ());
+      Peel_util.Table.print
+        ~header:[ "counter"; "value" ]
+        [
+          [ "events"; string_of_int s.Service.events ];
+          [ "creates / departs";
+            Printf.sprintf "%d / %d" s.Service.creates s.Service.departs ];
+          [ "joins / leaves";
+            Printf.sprintf "%d / %d" s.Service.joins s.Service.leaves ];
+          [ "delta repeels"; string_of_int s.Service.delta_repeels ];
+          [ "full repeels (fallbacks)";
+            Printf.sprintf "%d (%d)" s.Service.full_repeels
+              s.Service.splice_fallbacks ];
+          [ "compile batches"; string_of_int s.Service.batches ];
+          [ "installs / evictions / denials";
+            Printf.sprintf "%d / %d / %d" s.Service.installs
+              s.Service.evictions s.Service.denials ];
+          [ "sends (multicast / unicast)";
+            Printf.sprintf "%d / %d" s.Service.multicast_chunks
+              s.Service.unicast_chunks ];
+          [ "backlog (max / final)";
+            Printf.sprintf "%d / %d" s.Service.max_backlog
+              s.Service.final_backlog ];
+          [ "plan latency p50 / p99";
+            Printf.sprintf "%s / %s"
+              (Peel_util.Table.fsec s.Service.plan_p50_s)
+              (Peel_util.Table.fsec s.Service.plan_p99_s) ];
+          [ "events/sec"; Printf.sprintf "%.0f" s.Service.events_per_sec ];
+          [ "fingerprint"; out.Service.o_fingerprint ];
+        ];
+      print_newline ()
+    end;
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("events", Json.int s.Service.events);
+                ("delta_repeels", Json.int s.Service.delta_repeels);
+                ("full_repeels", Json.int s.Service.full_repeels);
+                ("splice_fallbacks", Json.int s.Service.splice_fallbacks);
+                ("installs", Json.int s.Service.installs);
+                ("evictions", Json.int s.Service.evictions);
+                ("denials", Json.int s.Service.denials);
+                ("multicast_chunks", Json.int s.Service.multicast_chunks);
+                ("unicast_chunks", Json.int s.Service.unicast_chunks);
+                ("max_backlog", Json.int s.Service.max_backlog);
+                ("plan_p50_s", Json.num s.Service.plan_p50_s);
+                ("plan_p99_s", Json.num s.Service.plan_p99_s);
+                ("events_per_sec", Json.num s.Service.events_per_sec);
+                ("fingerprint", Json.str out.Service.o_fingerprint);
+              ]));
+    let ds =
+      Check_service.check_state out
+      @ Check_service.check_replay ~first:out1.Service.o_fingerprint
+          ~second:out.Service.o_fingerprint
+    in
+    if ds <> [] && not quiet then Format.printf "%a" D.pp_report ds;
+    let errs = D.errors ds in
+    Printf.printf "serve: %d event(s), %d finding(s), %d error(s)\n"
+      s.Service.events (List.length ds) (List.length errs);
+    if errs <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits:std_exits
+       ~doc:
+         "Run the open-loop multicast-as-a-service controller over a Poisson \
+          create/join/leave/send/depart stream (delta re-peeling, batched \
+          pod-sharded installs, TCAM admission), lint the SVC invariants and \
+          the 1-vs-N-domain replay contract; exit non-zero on errors.")
+    Term.(
+      const run $ fabric_term $ seed_term $ scale_term $ events $ rate
+      $ size_mb $ hold $ churn $ sends $ fragmentation $ capacity $ policy
+      $ admission $ batch $ budget $ quiet $ json $ jobs_term)
+
+(* ------------------------------------------------------------------ *)
 (* compile                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1251,6 +1464,7 @@ let experiment_cmd =
       ("loss", Exp_loss.run); ("tenancy", Exp_tenancy.run);
       ("rail", Exp_rail.run); ("failover", Exp_failover.run);
       ("refine", Exp_refine.run); ("compile", Exp_compile.run);
+      ("service", Exp_service.run);
     ]
   in
   let exp_name =
@@ -1281,7 +1495,8 @@ let () =
     Cmd.group info
       [
         plan_cmd; check_cmd; compile_cmd; simulate_cmd; trace_cmd;
-        failover_cmd; refine_cmd; collective_cmd; state_cmd; experiment_cmd;
+        failover_cmd; refine_cmd; serve_cmd; collective_cmd; state_cmd;
+        experiment_cmd;
       ]
   in
   exit

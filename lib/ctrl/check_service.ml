@@ -1,0 +1,148 @@
+open Peel_topology
+module D = Peel_check.Diagnostic
+
+let member_racks fabric members =
+  List.sort_uniq compare (List.map (Fabric.attach_tor fabric) members)
+
+let check_group_cover (out : Service.outcome) gid (gs : Service.gstate) =
+  let fabric = out.Service.o_fabric in
+  let g = Fabric.graph fabric in
+  let loc = Printf.sprintf "group %d" gid in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let racks = member_racks fabric gs.Service.sg_members in
+  let entry =
+    Peel.Dataplane.exact_entry fabric ~group:gid ~members:gs.Service.sg_members
+  in
+  (match
+     Peel.Dataplane.verify_exact fabric entry ~members:gs.Service.sg_members
+   with
+  | Ok () -> ()
+  | Error msg -> add (D.errorf ~code:"SVC001" ~loc "%s" msg));
+  let tree_tors =
+    List.filter
+      (fun v -> (Graph.node g v).Graph.kind = Graph.Tor)
+      (Peel_steiner.Tree.members gs.Service.sg_tree)
+  in
+  List.iter
+    (fun tor ->
+      if not (List.mem tor racks) then
+        add
+          (D.errorf ~code:"SVC001" ~loc
+             "tree touches rack %d, which houses no member" tor))
+    tree_tors;
+  List.iter
+    (fun rack ->
+      if not (List.mem rack tree_tors) then
+        add
+          (D.errorf ~code:"SVC001" ~loc "tree misses member rack %d" rack))
+    racks;
+  List.rev !ds
+
+let check_budget (out : Service.outcome) =
+  match out.Service.o_tcam with
+  | None -> []
+  | Some tc ->
+      let cap = Tcam.capacity tc in
+      let over =
+        List.filter_map
+          (fun (sw, used) ->
+            if used > cap then
+              Some
+                (D.errorf ~code:"SVC002"
+                   ~loc:(Printf.sprintf "switch %d" sw)
+                   "%d entries exceed the TCAM budget of %d" used cap)
+            else None)
+          (Tcam.occupancy tc)
+      in
+      if Tcam.max_used tc > cap then
+        over
+        @ [
+            D.errorf ~code:"SVC002" ~loc:"tcam"
+              "high-water occupancy %d exceeded the budget of %d"
+              (Tcam.max_used tc) cap;
+          ]
+      else over
+
+let check_stages (out : Service.outcome) =
+  match out.Service.o_tcam with
+  | None -> []
+  | Some tc ->
+      Hashtbl.fold
+        (fun gid (gs : Service.gstate) acc ->
+          let loc = Printf.sprintf "group %d" gid in
+          match gs.Service.sg_stage with
+          | Service.Fallback ->
+              (* An evicted or denied group must hold no entry anywhere:
+                 partial sets cannot replicate exactly, so the data
+                 plane must see it as pure unicast. *)
+              List.filter_map
+                (fun (sw, _) ->
+                  if Tcam.holds tc ~switch:sw ~group:gid then
+                    Some
+                      (D.errorf ~code:"SVC003" ~loc
+                         "fallback group still holds an entry at switch %d" sw)
+                  else None)
+                (Tcam.occupancy tc)
+              @ acc
+          | Service.Installed ->
+              (* Complete entry set: one entry at every switch of the
+                 current tree. *)
+              List.filter_map
+                (fun sw ->
+                  if not (Tcam.holds tc ~switch:sw ~group:gid) then
+                    Some
+                      (D.errorf ~code:"SVC003" ~loc
+                         "installed group misses its entry at switch %d" sw)
+                  else None)
+                gs.Service.sg_switches
+              @ acc
+          | Service.Pending -> acc)
+        out.Service.o_groups []
+
+let check_departed (out : Service.outcome) =
+  let stale =
+    match out.Service.o_tcam with
+    | None -> []
+    | Some tc ->
+        List.concat_map
+          (fun (sw, _) ->
+            List.filter_map
+              (fun gid ->
+                if Hashtbl.mem out.Service.o_departed gid then
+                  Some
+                    (D.errorf ~code:"SVC004"
+                       ~loc:(Printf.sprintf "group %d" gid)
+                       "rule for the departed group survives at switch %d" sw)
+                else None)
+              (Tcam.groups_at tc ~switch:sw))
+          (Tcam.occupancy tc)
+  in
+  let pending =
+    List.filter_map
+      (fun gid ->
+        if Hashtbl.mem out.Service.o_departed gid then
+          Some
+            (D.errorf ~code:"SVC004" ~loc:(Printf.sprintf "group %d" gid)
+               "departed group still sits in the install backlog")
+        else None)
+      out.Service.o_pending
+  in
+  stale @ pending
+
+let check_state (out : Service.outcome) =
+  let covers =
+    Hashtbl.fold
+      (fun gid gs acc -> check_group_cover out gid gs @ acc)
+      out.Service.o_groups []
+  in
+  D.sort (covers @ check_budget out @ check_stages out @ check_departed out)
+
+let check_replay ~first ~second =
+  if String.equal first second then []
+  else
+    [
+      D.errorf ~code:"SVC005" ~loc:"replay"
+        "two runs with the same seed and event stream diverged: %s vs %s"
+        first second;
+    ]

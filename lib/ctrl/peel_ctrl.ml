@@ -8,9 +8,15 @@
     - {!Controller} — install scheduling, stage tracking, departures.
     - {!Refine} — the stage-switching launcher and the
       static/refined/IPMC schemes.
-    - {!Check_ctrl} — the CTRL invariant lints. *)
+    - {!Service} — the long-running open-loop multicast-as-a-service
+      controller (delta re-peeling, batched sharded installs,
+      admission/eviction).
+    - {!Check_ctrl} — the CTRL invariant lints.
+    - {!Check_service} — the SVC invariant lints for service mode. *)
 
 module Tcam = Tcam
 module Controller = Controller
 module Refine = Refine
+module Service = Service
 module Check_ctrl = Check_ctrl
+module Check_service = Check_service

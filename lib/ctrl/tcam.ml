@@ -109,6 +109,16 @@ let touch t ~now ~switch ~group ~bytes =
           e.last_used <- now;
           e.bytes <- e.bytes +. bytes)
 
+let remove_at t ~switch ~group =
+  match Hashtbl.find_opt t.tables switch with
+  | None -> false
+  | Some tbl ->
+      if Hashtbl.mem tbl group then begin
+        Hashtbl.remove tbl group;
+        true
+      end
+      else false
+
 let remove_group t ~group =
   Hashtbl.fold
     (fun _sw tbl n ->
@@ -122,3 +132,9 @@ let remove_group t ~group =
 let occupancy t =
   Hashtbl.fold (fun sw tbl l -> (sw, Hashtbl.length tbl) :: l) t.tables []
   |> List.sort compare
+
+let groups_at t ~switch =
+  match Hashtbl.find_opt t.tables switch with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold (fun g _ l -> g :: l) tbl [] |> List.sort compare

@@ -53,6 +53,11 @@ val touch : t -> now:float -> switch:int -> group:int -> bytes:float -> unit
 (** Account a chunk of [bytes] through [group]'s entry at [switch]
     (updates the LRU stamp and the byte weight); no-op if absent. *)
 
+val remove_at : t -> switch:int -> group:int -> bool
+(** Drop [group]'s entry at [switch] only (a membership delta freeing
+    a switch the updated tree no longer visits); returns whether an
+    entry was removed.  Not counted as an eviction. *)
+
 val remove_group : t -> group:int -> int
 (** Drop [group]'s entries at every switch (departure or eviction
     fallout); returns how many were removed.  Not counted as
@@ -66,6 +71,10 @@ val used : t -> switch:int -> int
 
 val occupancy : t -> (int * int) list
 (** [(switch, entries)] pairs, ascending switch id. *)
+
+val groups_at : t -> switch:int -> int list
+(** Group ids holding an entry at [switch], ascending — the full-table
+    scan the SVC stale-rule lint walks. *)
 
 val installs : t -> int
 (** Total entries ever installed. *)

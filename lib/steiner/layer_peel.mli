@@ -33,6 +33,49 @@ val repeel :
     when some destination is now unreachable.  Raises
     [Invalid_argument] if [prev] is not rooted at [source]. *)
 
+(** {1 Membership deltas}
+
+    The service control plane ({!Peel_ctrl.Service}) keeps one tree
+    per long-lived group while subscribers join and leave.  [splice]
+    extends {!repeel}'s seeded peeling to {e membership} deltas: a
+    single subscriber's subtree is spliced in or out without
+    re-peeling the rest of the tree, so plan latency under churn is
+    O(path) instead of O(fabric).  The caller remains responsible for
+    falling back to a full {!build} when the spliced tree violates the
+    Theorem 2.5 cost envelope (see {!Peel_check.Check_tree}) — splice
+    preserves validity, not optimality. *)
+
+type delta = Add of int | Remove of int
+    (** One membership change: a subscriber endpoint joining or
+        leaving the group. *)
+
+val delta_to_string : delta -> string
+(** ["+17"] / ["-17"]. *)
+
+val splice :
+  ?salt:int ->
+  ?dist:int array ->
+  Graph.t ->
+  prev:Tree.t ->
+  source:int ->
+  dests:int list ->
+  delta:delta ->
+  Tree.t option
+(** [splice g ~prev ~source ~dests ~delta] updates [prev] for one
+    membership delta, where [dests] is the destination set {e after}
+    the delta.  [Add d] climbs from [d] toward the source along BFS
+    layers (lowest-{!build}-rank previous-layer neighbour, preferring
+    nodes already in the tree, where the climb stops), binding a fresh
+    single-path subtree; existing bindings are never rewired.
+    [Remove d] prunes the bindings that no longer feed any remaining
+    destination.  [dist] optionally reuses a cached
+    [Graph.bfs_dist g source] array for the {e current} graph.
+
+    Returns [None] when an added member is unreachable.  Raises
+    [Invalid_argument] if [prev] is not rooted at [source], or if
+    [delta] disagrees with [dests] ([Add d] without [d] in [dests], or
+    [Remove d] with [d] still present). *)
+
 val farthest_layer : Graph.t -> source:int -> dests:int list -> int option
 (** F = the largest hop distance from the source to any destination
     ([None] if unreachable) — the quantity bounding the approximation

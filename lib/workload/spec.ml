@@ -119,25 +119,70 @@ type group = {
   g_bytes : float;
 }
 
+type gen = {
+  gen_fabric : Fabric.t;
+  gen_rng : Rng.t;
+  gen_scale : int;
+  gen_bytes : float;
+  gen_mean : float;
+  gen_hold : float;
+  gen_fragmentation : float;
+  mutable gen_next_id : int;
+  mutable gen_clock : float;
+}
+
+let group_gen fabric rng ~scale ~bytes ~load ~hold ?(fragmentation = 0.0)
+    ?(first_id = 0) () =
+  if hold <= 0.0 || not (Float.is_finite hold) then
+    invalid_arg "Spec.group_gen: hold must be positive";
+  {
+    gen_fabric = fabric;
+    gen_rng = rng;
+    gen_scale = scale;
+    gen_bytes = bytes;
+    gen_mean = mean_interarrival fabric ~scale ~bytes ~load;
+    gen_hold = hold;
+    gen_fragmentation = fragmentation;
+    gen_next_id = first_id;
+    gen_clock = 0.0;
+  }
+
+let gen_rng g = g.gen_rng
+let gen_clock g = g.gen_clock
+
+let next_group gen =
+  let rng = gen.gen_rng in
+  let arrival = gen.gen_clock +. Rng.exponential rng ~mean:gen.gen_mean in
+  let members =
+    place gen.gen_fabric rng ~scale:gen.gen_scale
+      ~fragmentation:gen.gen_fragmentation ()
+  in
+  let marr = Array.of_list members in
+  let source = marr.(Rng.int rng (Array.length marr)) in
+  let dests = List.filter (fun m -> m <> source) members in
+  (* Group state outlives the message by an exponential hold — the
+     multicast group stays registered at the controller until it
+     departs and frees its switch entries. *)
+  let life = max 1e-9 (Rng.exponential rng ~mean:gen.gen_hold) in
+  let id = gen.gen_next_id in
+  gen.gen_next_id <- id + 1;
+  gen.gen_clock <- arrival;
+  {
+    g_id = id;
+    g_arrival = arrival;
+    g_departure = arrival +. life;
+    g_source = source;
+    g_dests = dests;
+    g_members = members;
+    g_bytes = gen.gen_bytes;
+  }
+
 let poisson_groups fabric rng ~n ~scale ~bytes ~load ~hold
     ?(fragmentation = 0.0) () =
   if hold <= 0.0 || not (Float.is_finite hold) then
     invalid_arg "Spec.poisson_groups: hold must be positive";
-  poisson_broadcasts fabric rng ~n ~scale ~bytes ~load ~fragmentation ()
-  |> List.map (fun c ->
-         (* Group state outlives the message by an exponential hold —
-            the multicast group stays registered at the controller
-            until it departs and frees its switch entries. *)
-         let life = max 1e-9 (Rng.exponential rng ~mean:hold) in
-         {
-           g_id = c.id;
-           g_arrival = c.arrival;
-           g_departure = c.arrival +. life;
-           g_source = c.source;
-           g_dests = c.dests;
-           g_members = c.members;
-           g_bytes = c.bytes;
-         })
+  let gen = group_gen fabric rng ~scale ~bytes ~load ~hold ~fragmentation () in
+  List.init n (fun _ -> next_group gen)
 
 let collective_of_group g =
   {

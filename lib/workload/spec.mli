@@ -66,6 +66,42 @@ type group = {
   g_bytes : float;
 }
 
+type gen
+(** A streaming group generator: mutable RNG + clock state producing
+    one group per {!next_group} call.  All draws for one group
+    (interarrival, placement, source, hold) are consumed consecutively
+    from the single caller-supplied {!Peel_util.Rng.t}, so generators
+    and any other sampling can share one deterministic stream — the
+    contract the open-loop {!Peel_ctrl.Service} event generator and
+    the E17 batch callers both build on. *)
+
+val group_gen :
+  Fabric.t ->
+  Peel_util.Rng.t ->
+  scale:int ->
+  bytes:float ->
+  load:float ->
+  hold:float ->
+  ?fragmentation:float ->
+  ?first_id:int ->
+  unit ->
+  gen
+(** Make a generator; group ids count up from [first_id] (default 0)
+    and the clock starts at 0.  Raises [Invalid_argument] if
+    [hold <= 0]. *)
+
+val next_group : gen -> group
+(** Draw the next group: arrival at [clock + Exp(mean_interarrival)],
+    fresh placement, uniform member source, departure at
+    [arrival + Exp(hold)].  Advances the generator's clock and id. *)
+
+val gen_rng : gen -> Peel_util.Rng.t
+(** The generator's RNG state — shared, not copied, so interleaved
+    draws stay on one deterministic stream. *)
+
+val gen_clock : gen -> float
+(** Arrival time of the most recently generated group (0 initially). *)
+
 val poisson_groups :
   Fabric.t ->
   Peel_util.Rng.t ->
@@ -77,8 +113,10 @@ val poisson_groups :
   ?fragmentation:float ->
   unit ->
   group list
-(** Like {!poisson_broadcasts}, plus a departure at [arrival + Exp(hold)]
-    per group.  Raises [Invalid_argument] if [hold <= 0]. *)
+(** [n] draws from {!group_gen} — a thin wrapper over the streaming
+    generator.  Like {!poisson_broadcasts}, plus a departure at
+    [arrival + Exp(hold)] per group.  Raises [Invalid_argument] if
+    [hold <= 0]. *)
 
 val collective_of_group : group -> collective
 (** Forget the lifetime (id, arrival, members and bytes carry over). *)

@@ -1,0 +1,231 @@
+open Peel_topology
+module Rng = Peel_util.Rng
+module Heap = Peel_util.Pairing_heap
+
+type tenant = {
+  rate : float;
+  scale : int;
+  bytes : float;
+  hold : float;
+  churn : float;
+  sends : float;
+  fragmentation : float;
+}
+
+let tenant ?(churn = 0.0) ?(sends = 0.0) ?(fragmentation = 0.0) ~rate ~scale
+    ~bytes ~hold () =
+  { rate; scale; bytes; hold; churn; sends; fragmentation }
+
+type kind =
+  | Create of Spec.group
+  | Join of { gid : int; endpoint : int }
+  | Leave of { gid : int; endpoint : int }
+  | Send of { gid : int; bytes : float }
+  | Depart of { gid : int }
+
+type event = { ev_time : float; ev_seq : int; ev_kind : kind }
+
+let kind_to_string = function
+  | Create g -> Printf.sprintf "create[g%d]" g.Spec.g_id
+  | Join { gid; endpoint } -> Printf.sprintf "join[g%d+%d]" gid endpoint
+  | Leave { gid; endpoint } -> Printf.sprintf "leave[g%d-%d]" gid endpoint
+  | Send { gid; _ } -> Printf.sprintf "send[g%d]" gid
+  | Depart { gid } -> Printf.sprintf "depart[g%d]" gid
+
+(* Pending timers.  Arrival timers are per tenant; the rest are per
+   live group.  A timer whose group departed in the meantime is
+   discarded on pop (this can only happen on exact time ties, where
+   the earlier-scheduled departure drains first). *)
+type timer =
+  | T_arrival of int  (* tenant index *)
+  | T_churn of int    (* gid *)
+  | T_send of int     (* gid *)
+  | T_depart of int   (* gid *)
+
+type live = {
+  l_tenant : int;
+  l_source : int;
+  mutable l_members : int list;  (* ascending, always contains l_source *)
+  l_departure : float;
+}
+
+type t = {
+  s_fabric : Fabric.t;
+  s_rng : Rng.t;
+  s_tenants : tenant array;
+  s_timers : timer Heap.t;
+  s_live : (int, live) Hashtbl.t;
+  mutable s_next_gid : int;
+  mutable s_next_seq : int;
+}
+
+let validate_tenant fabric i t =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let n = Array.length (Fabric.endpoints fabric) in
+  if t.rate < 0.0 || not (Float.is_finite t.rate) then
+    fail "Stream.create: tenant %d rate must be finite and >= 0" i;
+  if t.scale < 2 || t.scale > n then
+    fail "Stream.create: tenant %d scale must be in [2, #endpoints]" i;
+  if t.bytes <= 0.0 || not (Float.is_finite t.bytes) then
+    fail "Stream.create: tenant %d bytes must be positive" i;
+  if t.hold <= 0.0 || not (Float.is_finite t.hold) then
+    fail "Stream.create: tenant %d hold must be positive" i;
+  if t.churn < 0.0 || not (Float.is_finite t.churn) then
+    fail "Stream.create: tenant %d churn must be finite and >= 0" i;
+  if t.sends < 0.0 || not (Float.is_finite t.sends) then
+    fail "Stream.create: tenant %d sends must be finite and >= 0" i;
+  if t.fragmentation < 0.0 || t.fragmentation > 1.0 then
+    fail "Stream.create: tenant %d fragmentation in [0,1]" i
+
+let create fabric rng ~tenants () =
+  if tenants = [] then invalid_arg "Stream.create: no tenants";
+  List.iteri (validate_tenant fabric) tenants;
+  if not (List.exists (fun t -> t.rate > 0.0) tenants) then
+    invalid_arg "Stream.create: every tenant rate is 0 — the stream is empty";
+  let s =
+    {
+      s_fabric = fabric;
+      s_rng = rng;
+      s_tenants = Array.of_list tenants;
+      s_timers = Heap.create ();
+      s_live = Hashtbl.create 64;
+      s_next_gid = 0;
+      s_next_seq = 0;
+    }
+  in
+  (* First arrival per tenant, in tenant order — one shared RNG
+     stream, draws strictly in event-processing order thereafter. *)
+  Array.iteri
+    (fun i t ->
+      if t.rate > 0.0 then
+        Heap.push s.s_timers
+          (Rng.exponential s.s_rng ~mean:(1.0 /. t.rate))
+          (T_arrival i))
+    s.s_tenants;
+  s
+
+let live_groups s =
+  Hashtbl.fold (fun gid _ acc -> gid :: acc) s.s_live [] |> List.sort compare
+
+let live_members s ~gid =
+  match Hashtbl.find_opt s.s_live gid with
+  | None -> None
+  | Some l -> Some l.l_members
+
+(* Schedule a per-group Poisson follow-up, unless it would land after
+   the group's departure (the departure timer then retires the group
+   before the follow-up could fire). *)
+let reschedule s ~now ~(l : live) ~mean timer =
+  if mean > 0.0 then begin
+    let at = now +. Rng.exponential s.s_rng ~mean in
+    if at < l.l_departure then Heap.push s.s_timers at timer
+  end
+
+let emit s ~time kind =
+  let seq = s.s_next_seq in
+  s.s_next_seq <- seq + 1;
+  { ev_time = time; ev_seq = seq; ev_kind = kind }
+
+let do_create s ~now ti =
+  let t = s.s_tenants.(ti) in
+  (* Next arrival of this tenant's Poisson process first, so the
+     tenant's interarrival draws are independent of the group's own
+     membership draws below. *)
+  Heap.push s.s_timers
+    (now +. Rng.exponential s.s_rng ~mean:(1.0 /. t.rate))
+    (T_arrival ti);
+  let members =
+    Spec.place s.s_fabric s.s_rng ~scale:t.scale
+      ~fragmentation:t.fragmentation ()
+  in
+  let marr = Array.of_list members in
+  let source = marr.(Rng.int s.s_rng (Array.length marr)) in
+  let life = max 1e-9 (Rng.exponential s.s_rng ~mean:t.hold) in
+  let gid = s.s_next_gid in
+  s.s_next_gid <- gid + 1;
+  let l =
+    { l_tenant = ti; l_source = source; l_members = members;
+      l_departure = now +. life }
+  in
+  Hashtbl.replace s.s_live gid l;
+  Heap.push s.s_timers l.l_departure (T_depart gid);
+  reschedule s ~now ~l ~mean:(if t.churn > 0.0 then 1.0 /. t.churn else 0.0)
+    (T_churn gid);
+  reschedule s ~now ~l ~mean:(if t.sends > 0.0 then 1.0 /. t.sends else 0.0)
+    (T_send gid);
+  let group =
+    {
+      Spec.g_id = gid;
+      g_arrival = now;
+      g_departure = l.l_departure;
+      g_source = source;
+      g_dests = List.filter (fun m -> m <> source) members;
+      g_members = members;
+      g_bytes = t.bytes;
+    }
+  in
+  emit s ~time:now (Create group)
+
+(* A churn tick: join a fresh endpoint or drop a non-source member.
+   Groups at the minimum size (2) always join; a join that cannot find
+   a free endpoint (the group spans the whole fabric) degrades to a
+   leave.  All draws come from the shared stream in a fixed order. *)
+let do_churn s ~now gid (l : live) =
+  let t = s.s_tenants.(l.l_tenant) in
+  reschedule s ~now ~l ~mean:(1.0 /. t.churn) (T_churn gid);
+  let size = List.length l.l_members in
+  let eps = Fabric.endpoints s.s_fabric in
+  let n = Array.length eps in
+  let want_join =
+    if size <= 2 then true
+    else if size >= n then false
+    else Rng.bool s.s_rng
+  in
+  let try_join () =
+    let rec find tries =
+      if tries = 0 then None
+      else
+        let e = eps.(Rng.int s.s_rng n) in
+        if List.mem e l.l_members then find (tries - 1) else Some e
+    in
+    find 64
+  in
+  let do_leave () =
+    let dests = List.filter (fun m -> m <> l.l_source) l.l_members in
+    let victim = List.nth dests (Rng.int s.s_rng (List.length dests)) in
+    l.l_members <- List.filter (fun m -> m <> victim) l.l_members;
+    Some (emit s ~time:now (Leave { gid; endpoint = victim }))
+  in
+  if want_join then
+    match try_join () with
+    | Some e ->
+        l.l_members <- List.sort compare (e :: l.l_members);
+        Some (emit s ~time:now (Join { gid; endpoint = e }))
+    | None -> if size > 2 then do_leave () else None
+  else do_leave ()
+
+let rec next s =
+  match Heap.pop s.s_timers with
+  | None -> invalid_arg "Stream.next: stream exhausted (no live timers)"
+  | Some (now, timer) -> (
+      match timer with
+      | T_arrival ti -> do_create s ~now ti
+      | T_depart gid ->
+          Hashtbl.remove s.s_live gid;
+          emit s ~time:now (Depart { gid })
+      | T_churn gid -> (
+          match Hashtbl.find_opt s.s_live gid with
+          | None -> next s
+          | Some l -> (
+              match do_churn s ~now gid l with
+              | Some ev -> ev
+              | None -> next s))
+      | T_send gid -> (
+          match Hashtbl.find_opt s.s_live gid with
+          | None -> next s
+          | Some l ->
+              let t = s.s_tenants.(l.l_tenant) in
+              reschedule s ~now ~l ~mean:(1.0 /. t.sends) (T_send gid);
+              emit s ~time:now (Send { gid; bytes = t.bytes })))
+
+let take s n = List.init n (fun _ -> next s)

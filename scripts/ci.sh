@@ -6,9 +6,12 @@
 #   3. lint    — scripts/lint.sh (static invariant battery: @check-lint,
 #                @trace-smoke, @par-smoke, @failover-smoke, @ctrl-smoke,
 #                @compile-smoke, diagnostic-code suites)
-#   4. docs    — scripts/docs.sh (@doc build; when odoc is installed
+#   4. serve   — dune build @serve-smoke (the open-loop service
+#                controller under the SVC lint battery and the
+#                1-vs-N-domain replay contract)
+#   5. docs    — scripts/docs.sh (@doc build; when odoc is installed
 #                the rendering must be warning-free)
-#   5. bench   — scripts/bench_guard.sh (deterministic drift guard
+#   6. bench   — scripts/bench_guard.sh (deterministic drift guard
 #                against the committed BENCH.json)
 #
 # Each stage is timed; the script exits non-zero at the first failure.
@@ -28,6 +31,7 @@ stage() {
 stage build dune build
 stage test dune runtest
 stage lint sh scripts/lint.sh
+stage serve dune build @serve-smoke
 stage docs sh scripts/docs.sh
 stage bench sh scripts/bench_guard.sh
 echo "ci.sh: all stages passed"

@@ -447,6 +447,167 @@ let test_ctrl_events_lint_clean () =
   Alcotest.(check (list string)) "check_trace clean" []
     (strings_of (Peel_check.Check_sim.check_trace t))
 
+(* ------------------------------------------------------------------ *)
+(* Service: open-loop multicast-as-a-service                           *)
+(* ------------------------------------------------------------------ *)
+
+let service_tenants =
+  [
+    Stream.tenant ~rate:400.0 ~scale:6 ~bytes:1e6 ~hold:0.5 ~churn:80.0
+      ~sends:40.0 ();
+    Stream.tenant ~rate:150.0 ~scale:10 ~bytes:4e6 ~hold:0.3 ~churn:30.0
+      ~sends:20.0 ~fragmentation:0.5 ();
+  ]
+
+let run_service ?(capacity = 64) ?(admission = Service.Evict) ?(events = 800)
+    ?(seed = 11) ?(jobs = 1) () =
+  let fabric = ls48 () in
+  let stream =
+    Stream.create fabric (Rng.create seed) ~tenants:service_tenants ()
+  in
+  let cfg = { Service.default_config with Service.capacity; admission } in
+  Service.run ~cfg ~jobs fabric ~events stream
+
+let test_service_replay_across_pools () =
+  (* The SVC005 contract: the decision log is byte-identical whether
+     the install compiles run on one domain or four. *)
+  let o1 = run_service ~jobs:1 () in
+  let o4 = run_service ~jobs:4 () in
+  Alcotest.(check string) "fingerprints agree" o1.Service.o_fingerprint
+    o4.Service.o_fingerprint;
+  Alcotest.(check (list string)) "replay lint clean" []
+    (strings_of
+       (Check_service.check_replay ~first:o1.Service.o_fingerprint
+          ~second:o4.Service.o_fingerprint));
+  Alcotest.(check (list string)) "state lint clean" []
+    (strings_of (Check_service.check_state o4))
+
+let test_service_delta_repeel_dominates () =
+  (* The point of the tentpole: membership churn is absorbed by
+     splicing, not by re-running the full peel per delta. *)
+  let out = run_service () in
+  let s = out.Service.o_slo in
+  Alcotest.(check bool) "saw real churn" true (s.Service.delta_repeels > 100);
+  Alcotest.(check int) "full peels = creates + fallbacks"
+    (s.Service.creates + s.Service.splice_fallbacks)
+    s.Service.full_repeels
+
+(* Property (satellite 3): under TCAM saturation, installed state never
+   exceeds the budget, displaced/denied groups degrade to the unicast
+   fallback, and no rule for a departed group survives — across random
+   seeds, tiny capacities and both admission policies. *)
+let prop_service_saturation =
+  QCheck.Test.make ~name:"service: saturation honors budget and fallback"
+    ~count:25
+    QCheck.(pair (int_range 0 100000) bool)
+    (fun (seed, evict) ->
+      let admission = if evict then Service.Evict else Service.Deny in
+      let capacity = 1 + (seed mod 3) in
+      let out = run_service ~capacity ~admission ~events:400 ~seed () in
+      let s = out.Service.o_slo in
+      let budget_ok =
+        match out.Service.o_tcam with
+        | None -> false
+        | Some tc ->
+            Tcam.max_used tc <= capacity
+            && List.for_all
+                 (fun (_, used) -> used <= capacity)
+                 (Tcam.occupancy tc)
+      in
+      let policy_ok =
+        match admission with
+        | Service.Evict -> s.Service.denials = 0
+        | Service.Deny -> s.Service.evictions = 0
+      in
+      let no_departed_rules =
+        match out.Service.o_tcam with
+        | None -> true
+        | Some tc ->
+            List.for_all
+              (fun (sw, _) ->
+                List.for_all
+                  (fun gid -> not (Hashtbl.mem out.Service.o_departed gid))
+                  (Tcam.groups_at tc ~switch:sw))
+              (Tcam.occupancy tc)
+      in
+      let fallback_unicast =
+        (* Every live group parked on the fallback path holds no entry
+           anywhere — its sends must ride unicast. *)
+        match out.Service.o_tcam with
+        | None -> true
+        | Some tc ->
+            Hashtbl.fold
+              (fun gid (gs : Service.gstate) acc ->
+                acc
+                && (gs.Service.sg_stage <> Service.Fallback
+                   || List.for_all
+                        (fun (sw, _) ->
+                          not (Tcam.holds tc ~switch:sw ~group:gid))
+                        (Tcam.occupancy tc)))
+              out.Service.o_groups true
+      in
+      budget_ok && policy_ok && no_departed_rules && fallback_unicast
+      && Check_service.check_state out = [])
+
+let find_group out ~stage =
+  let found =
+    Hashtbl.fold
+      (fun gid (gs : Service.gstate) acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> if gs.Service.sg_stage = stage then Some (gid, gs) else None)
+      out.Service.o_groups None
+  in
+  match found with
+  | Some x -> x
+  | None -> Alcotest.fail "expected a live group in the wanted stage"
+
+let test_service_svc001_seeded_corruption () =
+  let out = run_service () in
+  let gid, gs = find_group out ~stage:Service.Installed in
+  (* Claim the group only ever had its source: the tree now touches
+     racks that house no member. *)
+  gs.Service.sg_members <- [ gs.Service.sg_source ];
+  Alcotest.(check bool) "SVC001 diagnosed" true
+    (D.has_code "SVC001" (Check_service.check_group_cover out gid gs))
+
+let test_service_svc002_silent_by_construction () =
+  (* The TCAM enforces its own budget on every install path, so the
+     defensive SVC002 lint stays silent even on a saturated run. *)
+  let out = run_service ~capacity:1 ~events:400 () in
+  Alcotest.(check (list string)) "no budget finding" []
+    (strings_of (Check_service.check_budget out))
+
+let test_service_svc003_seeded_corruptions () =
+  let out = run_service () in
+  let gid, gs = find_group out ~stage:Service.Installed in
+  let tc = Option.get out.Service.o_tcam in
+  (* Drop one of the installed group's entries behind its back. *)
+  Alcotest.(check bool) "entry removed" true
+    (Tcam.remove_at tc ~switch:(List.hd gs.Service.sg_switches) ~group:gid);
+  Alcotest.(check bool) "missing entry diagnosed" true
+    (D.has_code "SVC003" (Check_service.check_stages out));
+  (* And the dual lie: a group claiming fallback while entries survive. *)
+  let out2 = run_service () in
+  let _, gs2 = find_group out2 ~stage:Service.Installed in
+  gs2.Service.sg_stage <- Service.Fallback;
+  Alcotest.(check bool) "stale fallback entries diagnosed" true
+    (D.has_code "SVC003" (Check_service.check_stages out2))
+
+let test_service_svc004_seeded_corruption () =
+  let out = run_service () in
+  let gid, _ = find_group out ~stage:Service.Installed in
+  Hashtbl.replace out.Service.o_departed gid ();
+  Alcotest.(check bool) "SVC004 diagnosed" true
+    (D.has_code "SVC004" (Check_service.check_departed out))
+
+let test_service_svc005_replay_codes () =
+  Alcotest.(check (list string)) "equal fingerprints clean" []
+    (strings_of (Check_service.check_replay ~first:"abc" ~second:"abc"));
+  Alcotest.(check bool) "diverged fingerprints diagnosed" true
+    (D.has_code "SVC005"
+       (Check_service.check_replay ~first:"abc" ~second:"abd"))
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "peel_ctrl"
@@ -502,6 +663,24 @@ let () =
             test_refine_eviction_pressure;
         ] );
       ("differential", [ qt overcover_differential ]);
+      ( "service",
+        [
+          Alcotest.test_case "replay across pools" `Quick
+            test_service_replay_across_pools;
+          Alcotest.test_case "delta repeel dominates" `Quick
+            test_service_delta_repeel_dominates;
+          qt prop_service_saturation;
+          Alcotest.test_case "svc001 corruption" `Quick
+            test_service_svc001_seeded_corruption;
+          Alcotest.test_case "svc002 silent" `Quick
+            test_service_svc002_silent_by_construction;
+          Alcotest.test_case "svc003 corruptions" `Quick
+            test_service_svc003_seeded_corruptions;
+          Alcotest.test_case "svc004 corruption" `Quick
+            test_service_svc004_seeded_corruption;
+          Alcotest.test_case "svc005 replay codes" `Quick
+            test_service_svc005_replay_codes;
+        ] );
       ( "trace",
         [
           Alcotest.test_case "counters" `Quick test_ctrl_event_counters;

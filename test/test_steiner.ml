@@ -559,6 +559,111 @@ let prop_repeel_identity_without_failures =
             && List.sort compare (Tree.link_ids t)
                = List.sort compare (Tree.link_ids prev))
 
+(* Property (the service's delta-repeel differential): absorb a random
+   join/leave delta sequence through [splice] under the Service's
+   acceptance rule — structural validity plus the Theorem 2.5 cost
+   envelope, falling back to a full peel otherwise — and at every step
+   compare the maintained tree against the from-scratch peel of the
+   current membership and the exact-entry delivery oracle
+   ([Dataplane.deliver_exact]).  Both plans must reach exactly the
+   member racks, and the incremental tree must never leave the full
+   peel's approximation envelope. *)
+let prop_splice_differential =
+  QCheck.Test.make
+    ~name:"splice differential: delta plans track the from-scratch peel"
+    ~count:200
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let f =
+        if Rng.bool rng then
+          Fabric.leaf_spine ~spines:3 ~leaves:6 ~hosts_per_leaf:2 ()
+        else Fabric.fat_tree ~k:4 ()
+      in
+      let g = Fabric.graph f in
+      let hosts = Fabric.hosts f in
+      let n = Array.length hosts in
+      let source = hosts.(Rng.int rng n) in
+      let dests0 =
+        Rng.sample_without_replacement rng n 3
+        |> List.map (fun i -> hosts.(i))
+        |> List.filter (fun d -> d <> source)
+      in
+      match dests0 with
+      | [] -> true
+      | dests0 ->
+          let dist = Graph.bfs_dist g source in
+          let bound_ok dests t =
+            match
+              Peel_check.Check_tree.symmetric_lower_bound f ~source ~dests
+            with
+            | None -> true
+            | Some opt -> (
+                match Layer_peel.farthest_layer g ~source ~dests with
+                | None -> false
+                | Some far ->
+                    let factor = max 1 (min far (List.length dests)) in
+                    Tree.cost t <= factor * max 1 opt)
+          in
+          let tree_tors t =
+            List.filter
+              (fun v -> (Graph.node g v).Graph.kind = Graph.Tor)
+              (Tree.members t)
+            |> List.sort compare
+          in
+          let oracle_tors dests =
+            Peel.Dataplane.deliver_exact f
+              (Peel.Dataplane.exact_entry f ~group:0 ~members:(source :: dests))
+          in
+          let cur = ref (expect_tree (Layer_peel.build g ~source ~dests:dests0)) in
+          let dests = ref dests0 in
+          let ok = ref true in
+          for _ = 1 to 6 do
+            let members = source :: !dests in
+            let free = List.filter (fun h -> not (List.mem h members))
+                (Array.to_list hosts)
+            in
+            let delta, next =
+              let grow =
+                (free <> [] && List.length !dests <= 1)
+                || (free <> [] && Rng.bool rng)
+              in
+              if grow then
+                let d = List.nth free (Rng.int rng (List.length free)) in
+                (Layer_peel.Add d, d :: !dests)
+              else
+                let victim =
+                  List.nth !dests (Rng.int rng (List.length !dests))
+                in
+                (Layer_peel.Remove victim,
+                 List.filter (fun d -> d <> victim) !dests)
+            in
+            if next <> [] then begin
+              let accepted =
+                match
+                  Layer_peel.splice ~dist g ~prev:!cur ~source ~dests:next
+                    ~delta
+                with
+                | Some t
+                  when Tree.validate g t ~dests:next = Ok ()
+                       && bound_ok next t ->
+                    t
+                | _ -> expect_tree (Layer_peel.build g ~source ~dests:next)
+              in
+              let scratch = expect_tree (Layer_peel.build g ~source ~dests:next) in
+              let oracle = oracle_tors next in
+              ok :=
+                !ok
+                && Tree.validate g accepted ~dests:next = Ok ()
+                && tree_tors accepted = oracle
+                && tree_tors scratch = oracle
+                && bound_ok next accepted;
+              cur := accepted;
+              dests := next
+            end
+          done;
+          !ok)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "peel_steiner"
@@ -608,5 +713,6 @@ let () =
           qt prop_peel_symmetric_optimal_fat_tree;
           qt prop_repeel_valid_and_splice;
           qt prop_repeel_identity_without_failures;
+          qt prop_splice_differential;
         ] );
     ]

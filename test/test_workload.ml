@@ -121,6 +121,144 @@ let prop_place_members_are_endpoints =
       let eps = Array.to_list (Fabric.endpoints f) in
       List.length members = scale && List.for_all (fun m -> List.mem m eps) members)
 
+(* ------------------------------------------------------------------ *)
+(* Streaming generator + open-loop event streams                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_group_gen_matches_batch () =
+  (* The batch wrapper is a thin loop over the streaming generator:
+     drawing through [next_group] by hand must reproduce it exactly. *)
+  let f = fat8 () in
+  let batch =
+    Spec.poisson_groups f (Rng.create 1700) ~n:8 ~scale:16 ~bytes:1e6
+      ~load:0.4 ~hold:0.05 ~fragmentation:0.5 ()
+  in
+  let gen =
+    Spec.group_gen f (Rng.create 1700) ~scale:16 ~bytes:1e6 ~load:0.4
+      ~hold:0.05 ~fragmentation:0.5 ()
+  in
+  let streamed = List.init 8 (fun _ -> Spec.next_group gen) in
+  Alcotest.(check bool) "identical schedules" true (batch = streamed)
+
+let test_group_gen_resumes () =
+  (* Splitting one generator's draw sequence at an arbitrary point
+     changes nothing: the generator owns all its state. *)
+  let f = fat8 () in
+  let gen = Spec.group_gen f (Rng.create 9) ~scale:8 ~bytes:1e6 ~load:0.3 ~hold:0.1 () in
+  let a = List.init 3 (fun _ -> Spec.next_group gen) in
+  let b = List.init 5 (fun _ -> Spec.next_group gen) in
+  let whole =
+    let gen = Spec.group_gen f (Rng.create 9) ~scale:8 ~bytes:1e6 ~load:0.3 ~hold:0.1 () in
+    List.init 8 (fun _ -> Spec.next_group gen)
+  in
+  Alcotest.(check bool) "split draw = one draw" true (a @ b = whole)
+
+let stream_tenants =
+  [
+    Stream.tenant ~rate:300.0 ~scale:6 ~bytes:1e6 ~hold:0.3 ~churn:60.0
+      ~sends:30.0 ();
+    Stream.tenant ~rate:100.0 ~scale:12 ~bytes:4e6 ~hold:0.2 ~churn:20.0
+      ~sends:10.0 ~fragmentation:0.5 ();
+  ]
+
+let stream_fabric () =
+  Fabric.leaf_spine ~spines:3 ~leaves:6 ~hosts_per_leaf:2 ~gpus_per_host:2 ()
+
+let test_stream_validates () =
+  let f = stream_fabric () in
+  let reject tenants =
+    try
+      ignore (Stream.create f (Rng.create 1) ~tenants ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty tenant list" true (reject []);
+  Alcotest.(check bool) "all-zero rates" true
+    (reject [ Stream.tenant ~rate:0.0 ~scale:4 ~bytes:1e6 ~hold:0.1 () ]);
+  Alcotest.(check bool) "scale too small" true
+    (reject [ Stream.tenant ~rate:1.0 ~scale:1 ~bytes:1e6 ~hold:0.1 () ]);
+  Alcotest.(check bool) "scale beyond the fabric" true
+    (reject [ Stream.tenant ~rate:1.0 ~scale:1000 ~bytes:1e6 ~hold:0.1 () ])
+
+let test_stream_deterministic () =
+  let events n seed =
+    let f = stream_fabric () in
+    Stream.take (Stream.create f (Rng.create seed) ~tenants:stream_tenants ()) n
+    |> List.map (fun (e : Stream.event) ->
+           (e.Stream.ev_time, e.Stream.ev_seq, Stream.kind_to_string e.Stream.ev_kind))
+  in
+  Alcotest.(check bool) "same seed same stream" true (events 500 3 = events 500 3);
+  Alcotest.(check bool) "different seed differs" true (events 500 3 <> events 500 4)
+
+let test_stream_event_order () =
+  let f = stream_fabric () in
+  let s = Stream.create f (Rng.create 7) ~tenants:stream_tenants () in
+  let es = Stream.take s 800 in
+  let rec check prev seq = function
+    | [] -> ()
+    | (e : Stream.event) :: rest ->
+        Alcotest.(check bool) "time monotone" true (e.Stream.ev_time >= prev);
+        Alcotest.(check int) "seq dense" seq e.Stream.ev_seq;
+        check e.Stream.ev_time (seq + 1) rest
+  in
+  check 0.0 0 es
+
+let test_stream_membership_consistent () =
+  (* Replay the stream's events into our own membership table; it must
+     agree with [live_members] at every step, joins must add real
+     non-members, leaves must never remove the source. *)
+  let f = stream_fabric () in
+  let eps = Array.to_list (Fabric.endpoints f) in
+  let s = Stream.create f (Rng.create 21) ~tenants:stream_tenants () in
+  let mine : (int, int list * int) Hashtbl.t = Hashtbl.create 64 in
+  for _ = 1 to 1200 do
+    let e = Stream.next s in
+      (match e.Stream.ev_kind with
+      | Stream.Create g ->
+          Alcotest.(check bool) "fresh gid" false (Hashtbl.mem mine g.Spec.g_id);
+          List.iter
+            (fun m ->
+              Alcotest.(check bool) "member is an endpoint" true
+                (List.mem m eps))
+            g.Spec.g_members;
+          Hashtbl.replace mine g.Spec.g_id
+            (List.sort compare g.Spec.g_members, g.Spec.g_source)
+      | Stream.Join { gid; endpoint } ->
+          let members, src = Hashtbl.find mine gid in
+          Alcotest.(check bool) "join adds a non-member" false
+            (List.mem endpoint members);
+          Alcotest.(check bool) "join adds an endpoint" true
+            (List.mem endpoint eps);
+          Hashtbl.replace mine gid (List.sort compare (endpoint :: members), src)
+      | Stream.Leave { gid; endpoint } ->
+          let members, src = Hashtbl.find mine gid in
+          Alcotest.(check bool) "leave removes a member" true
+            (List.mem endpoint members);
+          Alcotest.(check bool) "leave never removes the source" false
+            (endpoint = src);
+          Hashtbl.replace mine gid
+            (List.filter (fun m -> m <> endpoint) members, src)
+      | Stream.Send { gid; bytes } ->
+          Alcotest.(check bool) "send targets a live group" true
+            (Hashtbl.mem mine gid);
+          Alcotest.(check bool) "send bytes positive" true (bytes > 0.0)
+      | Stream.Depart { gid } ->
+          Alcotest.(check bool) "depart targets a live group" true
+            (Hashtbl.mem mine gid);
+          Hashtbl.remove mine gid);
+      Hashtbl.iter
+        (fun gid (members, _) ->
+          match Stream.live_members s ~gid with
+          | None -> Alcotest.fail "stream dropped a live group"
+          | Some ms ->
+              Alcotest.(check (list int))
+                (Printf.sprintf "group %d membership" gid)
+                members ms)
+        mine
+  done;
+  Alcotest.(check (list int)) "live view agrees" (Stream.live_groups s)
+    (List.sort compare (Hashtbl.fold (fun gid _ acc -> gid :: acc) mine []))
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "peel_workload"
@@ -140,5 +278,15 @@ let () =
           Alcotest.test_case "workload shape" `Quick test_poisson_broadcasts_shape;
           Alcotest.test_case "interarrival statistics" `Slow test_poisson_interarrival_statistics;
           Alcotest.test_case "deterministic" `Quick test_poisson_deterministic;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "gen matches batch" `Quick test_group_gen_matches_batch;
+          Alcotest.test_case "gen resumes" `Quick test_group_gen_resumes;
+          Alcotest.test_case "create validates" `Quick test_stream_validates;
+          Alcotest.test_case "deterministic" `Quick test_stream_deterministic;
+          Alcotest.test_case "event order" `Quick test_stream_event_order;
+          Alcotest.test_case "membership consistent" `Quick
+            test_stream_membership_consistent;
         ] );
     ]
