@@ -264,7 +264,11 @@ let flush st ~now =
                   gs.sg_stage <- Installed
                 end
                 else begin
-                  gs.sg_stage <- Fallback;
+                  (* The group may still hold entries from a previous
+                     install (membership deltas only free removed
+                     switches); reclaim them all so a denied group
+                     never keeps a partial entry set (SVC003). *)
+                  demote st gid;
                   st.denials <- st.denials + 1
                 end)
           live

@@ -220,6 +220,7 @@ let splice ?salt ?dist g ~prev ~source ~dests ~delta =
              touching any existing binding. *)
           let fresh = ref [] in
           let on_path = Hashtbl.create 8 in
+          let exception Climb_failed in
           let rec climb v =
             if not (Tree.mem prev v) then begin
               let dv = dist.(v) in
@@ -256,18 +257,24 @@ let splice ?salt ?dist g ~prev ~source ~dests ~delta =
                       Hashtbl.replace on_path v ();
                       climb u
                   | None ->
-                      (* BFS found [d] reachable, so a shortest-path
-                         predecessor exists at every hop of the climb. *)
-                      assert false)
+                      (* A fresh BFS guarantees a shortest-path
+                         predecessor at every hop, but a caller-supplied
+                         [dist] may be stale and links may have gone
+                         down since it was computed — honor the option
+                         contract and let the caller fall back to a
+                         full peel. *)
+                      raise Climb_failed)
             end
           in
-          climb d;
-          let bindings = !fresh @ bindings_of prev in
-          (* The previous tree may carry members the shrinking side of
-             the churn already removed from [dests]; prune to the
-             chains the current membership needs. *)
-          let bindings = prune_bindings g ~root:source ~bindings ~dests in
-          Some (Tree.of_parents g ~root:source ~parents:bindings)
+          match climb d with
+          | exception Climb_failed -> None
+          | () ->
+              let bindings = !fresh @ bindings_of prev in
+              (* The previous tree may carry members the shrinking side
+                 of the churn already removed from [dests]; prune to the
+                 chains the current membership needs. *)
+              let bindings = prune_bindings g ~root:source ~bindings ~dests in
+              Some (Tree.of_parents g ~root:source ~parents:bindings)
         end
       end
 

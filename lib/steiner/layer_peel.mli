@@ -71,7 +71,11 @@ val splice :
     destination.  [dist] optionally reuses a cached
     [Graph.bfs_dist g source] array for the {e current} graph.
 
-    Returns [None] when an added member is unreachable.  Raises
+    Returns [None] when an added member is unreachable, or when the
+    climb finds no previous-layer candidate with an up reverse link at
+    some hop (possible when a caller-supplied [dist] is stale or links
+    went down since the BFS) — callers fall back to a full peel.
+    Raises
     [Invalid_argument] if [prev] is not rooted at [source], or if
     [delta] disagrees with [dests] ([Add d] without [d] in [dests], or
     [Remove d] with [d] still present). *)

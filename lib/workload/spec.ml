@@ -177,12 +177,27 @@ let next_group gen =
     g_bytes = gen.gen_bytes;
   }
 
+(* Draw order matters for seed compatibility: all broadcast draws come
+   first, then one hold draw per group — the order E17 and the refine
+   experiments have always consumed, so same-seed batch workloads are
+   unchanged.  The open-loop event stream uses [next_group], which
+   interleaves the hold draw per group instead. *)
 let poisson_groups fabric rng ~n ~scale ~bytes ~load ~hold
     ?(fragmentation = 0.0) () =
   if hold <= 0.0 || not (Float.is_finite hold) then
     invalid_arg "Spec.poisson_groups: hold must be positive";
-  let gen = group_gen fabric rng ~scale ~bytes ~load ~hold ~fragmentation () in
-  List.init n (fun _ -> next_group gen)
+  poisson_broadcasts fabric rng ~n ~scale ~bytes ~load ~fragmentation ()
+  |> List.map (fun c ->
+         let life = max 1e-9 (Rng.exponential rng ~mean:hold) in
+         {
+           g_id = c.id;
+           g_arrival = c.arrival;
+           g_departure = c.arrival +. life;
+           g_source = c.source;
+           g_dests = c.dests;
+           g_members = c.members;
+           g_bytes = c.bytes;
+         })
 
 let collective_of_group g =
   {

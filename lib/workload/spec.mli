@@ -113,10 +113,12 @@ val poisson_groups :
   ?fragmentation:float ->
   unit ->
   group list
-(** [n] draws from {!group_gen} — a thin wrapper over the streaming
-    generator.  Like {!poisson_broadcasts}, plus a departure at
-    [arrival + Exp(hold)] per group.  Raises [Invalid_argument] if
-    [hold <= 0]. *)
+(** Like {!poisson_broadcasts}, plus a departure at
+    [arrival + Exp(hold)] per group.  All broadcast draws are consumed
+    before any hold draw — the historical order, so same-seed batch
+    workloads (E17, refine) are unchanged by the introduction of
+    {!group_gen}, whose {!next_group} interleaves the hold draw per
+    group instead.  Raises [Invalid_argument] if [hold <= 0]. *)
 
 val collective_of_group : group -> collective
 (** Forget the lifetime (id, arrival, members and bytes carry over). *)

@@ -549,6 +549,30 @@ let prop_service_saturation =
       budget_ok && policy_ok && no_departed_rules && fallback_unicast
       && Check_service.check_state out = [])
 
+let test_service_deny_fat_tree_reclaims () =
+  (* Regression: on a fat-tree, a membership delta can add switches to
+     an already-Installed group; only the new switches go back through
+     admission, so a Deny rejection used to flip the stage to Fallback
+     while the entries from the earlier install survived — violating
+     the SVC003 all-or-nothing invariant.  The state lint must stay
+     clean once denials start landing on re-admitted groups. *)
+  let fabric = Fabric.fat_tree ~k:4 ~hosts_per_tor:2 ~gpus_per_host:2 () in
+  let stream =
+    Stream.create fabric (Rng.create 7) ~tenants:service_tenants ()
+  in
+  let cfg =
+    {
+      Service.default_config with
+      Service.capacity = 8;
+      admission = Service.Deny;
+    }
+  in
+  let out = Service.run ~cfg fabric ~events:800 stream in
+  Alcotest.(check bool) "saw denials" true
+    (out.Service.o_slo.Service.denials > 0);
+  Alcotest.(check (list string)) "state lint clean" []
+    (strings_of (Check_service.check_state out))
+
 let find_group out ~stage =
   let found =
     Hashtbl.fold
@@ -670,6 +694,8 @@ let () =
           Alcotest.test_case "delta repeel dominates" `Quick
             test_service_delta_repeel_dominates;
           qt prop_service_saturation;
+          Alcotest.test_case "deny reclaims on fat-tree" `Quick
+            test_service_deny_fat_tree_reclaims;
           Alcotest.test_case "svc001 corruption" `Quick
             test_service_svc001_seeded_corruption;
           Alcotest.test_case "svc002 silent" `Quick

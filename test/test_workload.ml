@@ -126,19 +126,28 @@ let prop_place_members_are_endpoints =
 (* ------------------------------------------------------------------ *)
 
 let test_group_gen_matches_batch () =
-  (* The batch wrapper is a thin loop over the streaming generator:
-     drawing through [next_group] by hand must reproduce it exactly. *)
+  (* Seed compatibility: the batch wrapper consumes every broadcast
+     draw before any hold draw, so a same-seed caller that previously
+     used [poisson_broadcasts] sees the identical schedule — the
+     wrapper only adds a departure per group.  (The streaming
+     [next_group] interleaves the hold draw per group instead and is
+     deliberately NOT draw-for-draw identical to the batch.) *)
   let f = fat8 () in
   let batch =
     Spec.poisson_groups f (Rng.create 1700) ~n:8 ~scale:16 ~bytes:1e6
       ~load:0.4 ~hold:0.05 ~fragmentation:0.5 ()
   in
-  let gen =
-    Spec.group_gen f (Rng.create 1700) ~scale:16 ~bytes:1e6 ~load:0.4
-      ~hold:0.05 ~fragmentation:0.5 ()
+  let broadcasts =
+    Spec.poisson_broadcasts f (Rng.create 1700) ~n:8 ~scale:16 ~bytes:1e6
+      ~load:0.4 ~fragmentation:0.5 ()
   in
-  let streamed = List.init 8 (fun _ -> Spec.next_group gen) in
-  Alcotest.(check bool) "identical schedules" true (batch = streamed)
+  Alcotest.(check bool) "identical broadcast schedules" true
+    (List.map Spec.collective_of_group batch = broadcasts);
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "departure after arrival" true
+        (g.Spec.g_departure > g.Spec.g_arrival))
+    batch
 
 let test_group_gen_resumes () =
   (* Splitting one generator's draw sequence at an arbitrary point
@@ -281,7 +290,7 @@ let () =
         ] );
       ( "stream",
         [
-          Alcotest.test_case "gen matches batch" `Quick test_group_gen_matches_batch;
+          Alcotest.test_case "batch seed-compatible" `Quick test_group_gen_matches_batch;
           Alcotest.test_case "gen resumes" `Quick test_group_gen_resumes;
           Alcotest.test_case "create validates" `Quick test_stream_validates;
           Alcotest.test_case "deterministic" `Quick test_stream_deterministic;
