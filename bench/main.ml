@@ -49,6 +49,7 @@ let experiments : (string * string * (Common.mode -> unit)) list =
     ("compile", "E18 (ext): rule compiler vs TCAM budget", Exp_compile.run);
     ("scale", "E19 (ext): sharded-engine scale sweep, k=16/32/64", Exp_scale.run);
     ("service", "E20 (ext): open-loop service control plane", Exp_service.run);
+    ("zoo", "E21 (ext): topology zoo vs exact-Steiner oracle", Exp_zoo.run);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -230,7 +231,8 @@ let baseline_wall_for baseline ~mode name =
       | _ -> None)
 
 let write_bench_json ~mode ~baseline ~exp_times ~micro ~headline ~failover
-    ~refinement ~compile ~scale ~scale_speedup ~service ~service_slo ~total =
+    ~refinement ~compile ~scale ~scale_speedup ~service ~service_slo ~zoo
+    ~total =
   let opt_num = function Some x -> Json.num x | None -> Json.Null in
   let experiment_entry (name, wall) =
     let speedup =
@@ -265,6 +267,7 @@ let write_bench_json ~mode ~baseline ~exp_times ~micro ~headline ~failover
          ("scale_speedup", scale_speedup);
          ("service", service);
          ("service_slo", service_slo);
+         ("zoo", zoo);
          ("total_wall_s", Json.num total);
        ]
       @
@@ -396,8 +399,16 @@ let run_guard () =
           (Json.member "service" doc)
           (Exp_service.rows_json Common.Quick)
       in
+      (* The zoo record folds the approximation ratios, the port-set
+         rule accounting and the expander reconfiguration runs into one
+         seeded, jobs-invariant object. *)
+      let zoo =
+        guard_section "zoo"
+          (Json.member "zoo" doc)
+          (Exp_zoo.rows_json Common.Quick)
+      in
       let failures =
-        headline + failover + refinement + compile + scale + service
+        headline + failover + refinement + compile + scale + service + zoo
         + guard_jobs_determinism ()
       in
       if failures > 0 then begin
@@ -476,8 +487,10 @@ let () =
     let scale_speedup = Exp_scale.speedup_json Common.Quick in
     let service = Exp_service.rows_json Common.Quick in
     let service_slo = Exp_service.slo_json Common.Quick in
+    let zoo = Exp_zoo.rows_json Common.Quick in
     let total = Unix.gettimeofday () -. t0 in
     write_bench_json ~mode ~baseline ~exp_times ~micro ~headline ~failover
-      ~refinement ~compile ~scale ~scale_speedup ~service ~service_slo ~total;
+      ~refinement ~compile ~scale ~scale_speedup ~service ~service_slo ~zoo
+      ~total;
     Printf.printf "\ntotal wall time: %.1f s (BENCH.json written)\n" total
   end

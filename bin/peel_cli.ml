@@ -8,6 +8,8 @@
      failover   — inject a scheduled mid-run link failure and re-peel
      refine     — two-stage refinement control plane under group churn
      serve      — open-loop multicast-as-a-service controller (SVC lints)
+     zoo        — generate a zoo topology, plan with the generalized
+                  peeler, compare against the exact-Steiner oracle
      state      — switch-state and header accounting for a fat-tree degree
      experiment — regenerate a paper table/figure by name
 
@@ -1429,6 +1431,231 @@ let collective_cmd =
     Term.(const run $ fabric_term $ seed_term $ scale_term $ op $ size_mb)
 
 (* ------------------------------------------------------------------ *)
+(* zoo                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Testing hook behind --corrupt: seed exactly the malformation a given
+   TOPO code exists to catch, so the lint alias can prove the zoo
+   checkers fail loudly end to end (same pattern as compile's CMP
+   hook). topo001/topo002 corrupt the fabric before the battery runs;
+   topo003/topo004 corrupt the planner's outputs and run the dedicated
+   checker directly. *)
+let corrupt_zoo_fabric z code =
+  match code with
+  | `Topo001 ->
+      (* Drag a switch down to the endpoint layer: the layering is no
+         longer well formed (switches live on layers >= 1). *)
+      z.Zoo.layer_of.(z.Zoo.tors.(0)) <- 0;
+      z
+  | `Topo002 ->
+      (* Drop the last ToR from the roster: the class's size invariant
+         (ToR count derived from the parameters) breaks. *)
+      { z with Zoo.tors = Array.sub z.Zoo.tors 0 (Array.length z.Zoo.tors - 1) }
+
+(* Attach one extra node to the tree through an up link that does not
+   descend the BFS layering — valid by every TREE check (live link,
+   right direction, reached once), caught only by TOPO003. *)
+let corrupt_zoo_tree g tree ~source =
+  let module Tree = Peel_steiner.Tree in
+  let dist = Graph.bfs_dist g source in
+  let nodes = Graph.num_nodes g in
+  let found = ref None in
+  for u = 0 to nodes - 1 do
+    if !found = None && Tree.mem tree u then
+      Array.iter
+        (fun (v, lid) ->
+          if
+            !found = None && Graph.link_up g lid
+            && (not (Tree.mem tree v))
+            && dist.(v) <> Graph.unreachable
+            && dist.(u) >= dist.(v)
+          then found := Some (v, (u, lid)))
+        (Graph.out_links g u)
+  done;
+  match !found with
+  | None ->
+      failwith
+        "topo003 corruption: no non-descending attachment exists (try a \
+         different seed or topology)"
+  | Some binding ->
+      let parents =
+        binding
+        :: List.map (fun (p, c, lid) -> (c, (p, lid))) (Tree.edges tree)
+      in
+      Tree.of_parents g ~root:source ~parents
+
+let zoo_cmd =
+  let module Zoo = Peel_topology.Zoo in
+  let module Layer_peel = Peel_steiner.Layer_peel in
+  let module Tree = Peel_steiner.Tree in
+  let topo =
+    Arg.(
+      value
+      & opt
+          (enum (List.map (fun c -> (Zoo.cls_to_string c, c)) Zoo.all_classes))
+          Zoo.Jellyfish
+      & info [ "topo" ] ~docv:"CLASS"
+          ~doc:"Topology class: abfattree, vl2, jellyfish or xpander.")
+  in
+  let k =
+    Arg.(
+      value & opt int 4
+      & info [ "k" ] ~docv:"K" ~doc:"abfattree: pod count / arity (even, >= 4).")
+  in
+  let da =
+    Arg.(
+      value & opt int 4
+      & info [ "da" ] ~doc:"vl2: aggregation port count (even).")
+  in
+  let di =
+    Arg.(
+      value & opt int 4
+      & info [ "di" ] ~doc:"vl2: aggregation switch count (even).")
+  in
+  let size =
+    Arg.(
+      value & opt int 12
+      & info [ "size" ] ~docv:"N" ~doc:"jellyfish: switch count.")
+  in
+  let degree =
+    Arg.(
+      value & opt int 3
+      & info [ "degree" ] ~docv:"D"
+          ~doc:"jellyfish / xpander: inter-switch network degree.")
+  in
+  let lift =
+    Arg.(
+      value & opt int 4
+      & info [ "lift" ] ~docv:"L" ~doc:"xpander: lift order (switches = (D+1)*L).")
+  in
+  let group =
+    Arg.(
+      value & opt int 6
+      & info [ "group" ] ~docv:"N" ~doc:"Multicast group size (source + dests).")
+  in
+  let fail_frac =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fail" ] ~docv:"F"
+          ~doc:"Fraction of inter-switch links to fail before planning.")
+  in
+  let corrupt =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("topo001", `Topo001); ("topo002", `Topo002);
+                  ("topo003", `Topo003); ("topo004", `Topo004) ]))
+          None
+      & info [ "corrupt" ] ~docv:"CODE"
+          ~doc:
+            "Testing hook: seed the malformation CODE (topo001..topo004) \
+             exists to catch, then run the checkers — must exit 1.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the verdict line.")
+  in
+  let run topo k da di size degree lift seed group fail_frac corrupt quiet =
+    let module D = Peel_check.Diagnostic in
+    let z =
+      match topo with
+      | Zoo.Abfattree -> Zoo.abfattree ~k ()
+      | Zoo.Vl2 -> Zoo.vl2 ~da ~di ()
+      | Zoo.Jellyfish ->
+          Zoo.jellyfish ~switches:size ~net_degree:degree ~seed ()
+      | Zoo.Xpander -> Zoo.xpander ~net_degree:degree ~lift ~seed ()
+    in
+    let z =
+      match corrupt with
+      | Some ((`Topo001 | `Topo002) as c) -> corrupt_zoo_fabric z c
+      | _ -> z
+    in
+    let fabric = Fabric.of_zoo z in
+    let g = Fabric.graph fabric in
+    let rng = Rng.create seed in
+    if fail_frac > 0.0 then
+      ignore (Fabric.fail_random fabric ~rng ~tier:`All ~fraction:fail_frac ());
+    let hosts = Fabric.hosts fabric in
+    let n = Array.length hosts in
+    let picks =
+      Rng.sample_without_replacement rng n (min n (max 2 group))
+      |> List.map (fun i -> hosts.(i))
+    in
+    let source = List.hd picks in
+    let dests = List.tl picks in
+    if not quiet then begin
+      Printf.printf "fabric: %s\n" (Fabric.describe fabric);
+      Printf.printf "layers:";
+      for l = 1 to Fabric.num_layers fabric - 1 do
+        Printf.printf " L%d=%d" l
+          (Array.length (Fabric.switches_at_layer fabric l))
+      done;
+      Printf.printf "; group: %d endpoints, source node %d\n"
+        (List.length picks) source;
+      (match Layer_peel.peel_general g ~source ~dests with
+      | None -> print_endline "tree: destinations unreachable"
+      | Some tree ->
+          let cost = Tree.cost tree in
+          (match Peel_steiner.Exact.oracle g ~source ~dests with
+          | None ->
+              Printf.printf "tree: %d links (oracle declined the instance)\n"
+                cost
+          | Some opt ->
+              Printf.printf "tree: %d links; exact optimum %d; ratio %.3f\n"
+                cost opt
+                (float_of_int cost /. float_of_int (max 1 opt)));
+          let rules = Layer_peel.port_set_rules g [ tree ] in
+          Printf.printf "port-set rules: %d switch(es), %d total\n"
+            (List.length rules)
+            (List.fold_left (fun a (_, c) -> a + c) 0 rules))
+    end;
+    let ds = Peel_check.check_scenario fabric ~source ~dests in
+    let planner_ds =
+      match corrupt with
+      | Some `Topo003 -> (
+          match Layer_peel.peel_general g ~source ~dests with
+          | None -> []
+          | Some tree ->
+              Peel_check.Check_topology.check_general_tree g
+                (corrupt_zoo_tree g tree ~source)
+                ~source ~dests)
+      | Some `Topo004 -> (
+          match Layer_peel.peel_general g ~source ~dests with
+          | None -> []
+          | Some tree -> (
+              match Layer_peel.farthest_layer g ~source ~dests with
+              | None -> []
+              | Some far ->
+                  (* An "oracle" one link better than the greedy: the
+                     inconsistency TOPO004 exists to catch. *)
+                  Peel_check.Check_topology.check_ratio
+                    ~cost:(Tree.cost tree)
+                    ~opt:(Tree.cost tree + 1)
+                    ~far
+                    ~ndests:(List.length dests)))
+      | _ -> []
+    in
+    let ds = D.sort (ds @ planner_ds) in
+    if ds <> [] && not quiet then Format.printf "%a" D.pp_report ds;
+    let errs = D.errors ds in
+    Printf.printf "zoo %s: %d finding(s), %d error(s)\n"
+      (Zoo.cls_to_string (Zoo.cls z))
+      (List.length ds) (List.length errs);
+    if errs <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "zoo" ~exits:std_exits
+       ~doc:
+         "Generate a zoo topology (abfattree, VL2, Jellyfish, Xpander), plan \
+          a multicast group with the generalized layer-peeling planner, \
+          measure it against the exact-Steiner oracle and run the TOPO \
+          lint battery; exit 1 on any error-severity diagnostic.")
+    Term.(
+      const run $ topo $ k $ da $ di $ size $ degree $ lift $ seed_term
+      $ group $ fail_frac $ corrupt $ quiet)
+
+(* ------------------------------------------------------------------ *)
 (* state                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1464,7 +1691,7 @@ let experiment_cmd =
       ("loss", Exp_loss.run); ("tenancy", Exp_tenancy.run);
       ("rail", Exp_rail.run); ("failover", Exp_failover.run);
       ("refine", Exp_refine.run); ("compile", Exp_compile.run);
-      ("service", Exp_service.run);
+      ("service", Exp_service.run); ("zoo", Exp_zoo.run);
     ]
   in
   let exp_name =
@@ -1495,8 +1722,8 @@ let () =
     Cmd.group info
       [
         plan_cmd; check_cmd; compile_cmd; simulate_cmd; trace_cmd;
-        failover_cmd; refine_cmd; serve_cmd; collective_cmd; state_cmd;
-        experiment_cmd;
+        failover_cmd; refine_cmd; serve_cmd; collective_cmd; zoo_cmd;
+        state_cmd; experiment_cmd;
       ]
   in
   exit

@@ -1,0 +1,85 @@
+open Peel_topology
+module Tree = Peel_steiner.Tree
+module Layer_peel = Peel_steiner.Layer_peel
+module Exact = Peel_steiner.Exact
+module D = Diagnostic
+
+let check_layering z =
+  List.map
+    (fun msg -> D.errorf ~code:"TOPO001" ~loc:"layering" "%s" msg)
+    (Zoo.layering_violations z)
+
+let check_invariants z =
+  List.map
+    (fun msg -> D.errorf ~code:"TOPO002" ~loc:"invariants" "%s" msg)
+    (Zoo.invariant_violations z)
+
+(* A peeled tree descends strictly away from the source: every binding
+   attaches a member to a parent on a strictly lower BFS layer, so an
+   edge whose parent is at least as far as its child can only come from
+   a corrupted tree (or a tree built for a different source).  This is
+   the generalization of TREE002/004 that has teeth on expanders, where
+   there is no pod structure for the other checks to lean on. *)
+let check_general_tree g tree ~source ~dests =
+  let base = Check_tree.check g tree ~source ~dests in
+  let dist = Graph.bfs_dist g source in
+  let mono =
+    List.filter_map
+      (fun (parent, child, _lid) ->
+        if
+          dist.(parent) <> Graph.unreachable
+          && dist.(child) <> Graph.unreachable
+          && dist.(parent) >= dist.(child)
+        then
+          Some
+            (D.errorf ~code:"TOPO003"
+               ~loc:(Printf.sprintf "edge %d->%d" parent child)
+               "tree edge climbs from BFS layer %d to layer %d: peeled \
+                trees descend strictly away from the source"
+               dist.(parent) dist.(child))
+        else None)
+      (Tree.edges tree)
+  in
+  base @ mono
+
+let check_ratio ~cost ~opt ~far ~ndests =
+  if cost < opt then
+    [
+      D.errorf ~code:"TOPO004" ~loc:"oracle"
+        "greedy cost %d beats the exact optimum %d: oracle inconsistency"
+        cost opt;
+    ]
+  else begin
+    let factor = max 1 (min far ndests) in
+    let bound = factor * max 1 opt in
+    if cost > bound then
+      [
+        D.errorf ~code:"TOPO004" ~loc:"oracle"
+          "cost %d exceeds min(F,|D|)*OPT = %d*%d = %d (Theorem 2.5 \
+           against the exact oracle)"
+          cost factor opt bound;
+      ]
+    else []
+  end
+
+let check_scenario z ~source ~dests =
+  let dests =
+    List.sort_uniq compare (List.filter (fun d -> d <> source) dests)
+  in
+  let structural = check_layering z @ check_invariants z in
+  let g = z.Zoo.graph in
+  match Layer_peel.peel_general g ~source ~dests with
+  | None -> structural (* unreachability is the main battery's TREE003 *)
+  | Some tree ->
+      let tree_ds = check_general_tree g tree ~source ~dests in
+      let ratio_ds =
+        match Exact.oracle g ~source ~dests with
+        | None -> [] (* oracle declined: too many racks for the DP *)
+        | Some opt -> (
+            match Layer_peel.farthest_layer g ~source ~dests with
+            | None -> []
+            | Some far ->
+                check_ratio ~cost:(Tree.cost tree) ~opt ~far
+                  ~ndests:(List.length dests))
+      in
+      structural @ tree_ds @ ratio_ds

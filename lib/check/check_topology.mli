@@ -1,0 +1,50 @@
+(** Topology-zoo invariant checking (TOPO00x).
+
+    The zoo generators ({!Peel_topology.Zoo}) emit fabrics with no
+    symmetric-Clos structure to lean on, so their correctness story is
+    different: the layering annotation must be well formed, the
+    class-specific degree/size invariants must hold, general-peel trees
+    must descend monotonically through the BFS layers, and the greedy's
+    cost must sit between the exact Steiner optimum and the
+    Theorem 2.5 envelope measured {e against that optimum} rather than
+    against the closed-form Clos bound.
+
+    Codes: TOPO001 layering malformed, TOPO002 class invariant broken,
+    TOPO003 tree edge climbs the layering, TOPO004 measured
+    approximation ratio out of bounds. *)
+
+open Peel_topology
+
+val check_layering : Zoo.t -> Diagnostic.t list
+(** TOPO001 — one error per {!Zoo.layering_violations} entry:
+    endpoints on layer 0 wired only to switches, contiguous layers,
+    every hop crossing exactly one layer on layered classes, and
+    structural connectivity. *)
+
+val check_invariants : Zoo.t -> Diagnostic.t list
+(** TOPO002 — one error per {!Zoo.invariant_violations} entry: the
+    class's node counts and structural degrees (e.g. every Jellyfish
+    switch has exactly [net_degree] switch ports). *)
+
+val check_general_tree :
+  Graph.t -> Peel_steiner.Tree.t -> source:int -> dests:int list ->
+  Diagnostic.t list
+(** The fabric-free tree battery ({!Check_tree.check} without the Clos
+    cost bound) plus TOPO003: every tree edge must go from a parent
+    strictly closer to the source (BFS hops) than its child — the
+    validity invariant general peeling guarantees on any topology. *)
+
+val check_ratio :
+  cost:int -> opt:int -> far:int -> ndests:int -> Diagnostic.t list
+(** TOPO004 — [cost] is the greedy tree's link count, [opt] the exact
+    oracle's ({!Peel_steiner.Exact.oracle}), [far] the farthest layer
+    F. Errors when [cost < opt] (the "exact" oracle was beaten, so it
+    is not exact) or [cost > min(F, ndests) * max 1 opt] (Theorem 2.5
+    measured against the true optimum). *)
+
+val check_scenario : Zoo.t -> source:int -> dests:int list -> Diagnostic.t list
+(** The full zoo battery for one scenario: layering + invariants, then
+    — when the group is reachable — the general-peel tree checks and,
+    when the oracle can afford the instance, the measured-ratio bound.
+    Runs automatically inside {!Peel_check.check_scenario} whenever the
+    fabric is a zoo fabric. *)

@@ -3,6 +3,7 @@ module Check_tree = Check_tree
 module Check_plan = Check_plan
 module Check_sim = Check_sim
 module Check_collective = Check_collective
+module Check_topology = Check_topology
 module Fabric = Peel_topology.Fabric
 
 let env_var = "PEEL_CHECK"
@@ -47,4 +48,9 @@ let check_scenario ?budget fabric ~source ~dests =
           (Peel_baselines.Binary_tree.schedule fabric ~source ~members)
           ~source ~members
   in
-  Diagnostic.sort (fabric_ds @ tree_ds @ plan_ds @ rules_ds @ sched_ds)
+  let topo_ds =
+    match fabric with
+    | Fabric.Zo z -> Check_topology.check_scenario z ~source ~dests
+    | Fabric.Ft _ | Fabric.Ls _ | Fabric.Rl _ -> []
+  in
+  Diagnostic.sort (fabric_ds @ tree_ds @ plan_ds @ rules_ds @ sched_ds @ topo_ds)

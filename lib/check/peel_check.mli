@@ -22,6 +22,7 @@ module Check_tree = Check_tree
 module Check_plan = Check_plan
 module Check_sim = Check_sim
 module Check_collective = Check_collective
+module Check_topology = Check_topology
 
 val env_var : string
 (** ["PEEL_CHECK"]. *)
@@ -42,4 +43,5 @@ val check_scenario :
 (** The full lint battery for one multicast scenario: fabric links,
     the PEEL tree (with the Theorem 2.5 cost bound), the prefix send
     plan, the static rule table, and the ring / binary-tree baseline
-    schedules for the same group. *)
+    schedules for the same group.  On zoo fabrics the TOPO battery
+    ({!Check_topology.check_scenario}) runs as well. *)

@@ -67,7 +67,7 @@ let compute mode ks =
     (fun k ->
       let fabric = fabric_for k in
       let cs = workload fabric mode in
-      let gpus = Array.length (Fabric.endpoints fabric) in
+      let gpus = Fabric.num_endpoints fabric in
       let paths = Paths.create ~ecmp:true fabric in
       let links = Soa.links_of_graph (Fabric.graph fabric) in
       List.map

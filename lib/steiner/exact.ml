@@ -74,3 +74,77 @@ let steiner_cost g ~terminals =
     let answer = dp.(full).(terms.(0)) in
     if answer >= inf then None else Some answer
   end
+
+(* ------------------------------------------------------------------ *)
+(* Exact-comparison oracle (topology zoo, E21)                         *)
+(* ------------------------------------------------------------------ *)
+
+module Iset = Set.Make (Int)
+
+let up_neighbors g v =
+  Array.to_list (Graph.out_links g v)
+  |> List.filter_map (fun (u, lid) ->
+         if Graph.link_up g lid then Some u else None)
+  |> List.sort_uniq compare
+
+(* A terminal with exactly one live neighbor is {e pendant}: every
+   Steiner tree spanning it must use that single edge, so replacing the
+   terminal by its neighbor and charging one link is exact — and two
+   terminals collapsing onto the same switch merge (their shared
+   subtree is counted once by the DP).  Endpoints hang off one ToR in
+   every zoo fabric, so a group of q hosts on r racks reduces to r+1
+   switch terminals, well below the DP's 3^q wall. *)
+let collapse_pendants g terminals =
+  let exception Unreachable in
+  let rec go cost terms =
+    if Iset.cardinal terms <= 1 then (cost, terms)
+    else begin
+      let pendant =
+        Iset.filter
+          (fun v ->
+            match up_neighbors g v with
+            | [ _ ] -> true
+            | [] -> raise Unreachable
+            | _ -> false)
+          terms
+      in
+      (* Keep a pendant whose sole neighbor is itself a pendant terminal
+         (an isolated edge): collapsing both would orbit forever. *)
+      let collapsible =
+        Iset.filter
+          (fun v ->
+            match up_neighbors g v with
+            | [ u ] -> not (Iset.mem u pendant)
+            | _ -> false)
+          pendant
+      in
+      if Iset.is_empty collapsible then (cost, terms)
+      else begin
+        let cost = ref cost and next = ref terms in
+        Iset.iter
+          (fun v ->
+            match up_neighbors g v with
+            | [ u ] ->
+                next := Iset.add u (Iset.remove v !next);
+                incr cost
+            | _ -> assert false)
+          collapsible;
+        go !cost !next
+      end
+    end
+  in
+  match go 0 terminals with
+  | result -> Some result
+  | exception Unreachable -> None
+
+let oracle g ~source ~dests =
+  let terminals = Iset.of_list (source :: dests) in
+  match collapse_pendants g terminals with
+  | None -> None
+  | Some (base, terms) ->
+      if Iset.cardinal terms > max_terminals then None
+      else if Iset.cardinal terms <= 1 then Some base
+      else
+        Option.map
+          (fun c -> base + c)
+          (steiner_cost g ~terminals:(Iset.elements terms))

@@ -23,134 +23,206 @@ let rank ?salt u =
       let h = Hashtbl.hash (u, s) in
       (h * 65599) lxor (h lsr 7)
 
+(* The peeling core, parameterized by a layering.  [lay] labels every
+   node with a layer ([Graph.unreachable] excludes a node); [top] is the
+   outermost layer holding a member.  Candidate parents of [v] are its
+   up-link in-neighbors on any {e strictly lower} layer.  With BFS
+   layers this degenerates to exactly [dist v - 1] — an up neighbor is
+   never more than one ring closer — so [build] below is bit-identical
+   to the historical BFS-only peel. *)
+let peel_layers ?salt g ~lay ~top ~source ~dests ~seeds =
+  let n = Graph.num_nodes g in
+  (* Bucket nodes into layers 0..top. *)
+  let layers = Array.make (top + 1) [] in
+  for v = n - 1 downto 0 do
+    let d = lay.(v) in
+    if d <> Graph.unreachable && d <= top then layers.(d) <- v :: layers.(d)
+  done;
+  let in_tree = Array.make n false in
+  let parent_of = Array.make n None in
+  in_tree.(source) <- true;
+  List.iter (fun d -> in_tree.(d) <- true) dests;
+  (* Pre-seed surviving bindings (re-peeling): the greedy below never
+     overwrites an existing parent, so seeded subtrees keep their
+     exact shape and peeling only extends around them. *)
+  List.iter
+    (fun (v, (p, lid)) ->
+      in_tree.(v) <- true;
+      in_tree.(p) <- true;
+      parent_of.(v) <- Some (p, lid))
+    seeds;
+  (* Candidate parents of [v]: in-neighbors on a lower layer over up
+     links.  ([Graph.unreachable] is [max_int], so excluded nodes never
+     pass the [< lay v] test.) *)
+  let lower_layer_neighbors v =
+    let dv = lay.(v) in
+    Array.to_list (Graph.out_links g v)
+    |> List.filter_map (fun (u, lid) ->
+           let rev = Graph.peer_link lid in
+           if Graph.link_up g rev && lay.(u) < dv then Some (u, rev) else None)
+  in
+  for i = top - 1 downto 0 do
+    (* Members of layer i+1 still lacking a parent. *)
+    let uncovered =
+      List.filter (fun v -> in_tree.(v) && parent_of.(v) = None) layers.(i + 1)
+    in
+    (* Step 1: attach to lower-layer nodes already in the tree. *)
+    let uncovered =
+      List.filter
+        (fun v ->
+          let existing =
+            List.filter (fun (u, _) -> in_tree.(u)) (lower_layer_neighbors v)
+          in
+          match existing with
+          | [] -> true
+          | first :: rest ->
+              let u, lid =
+                List.fold_left
+                  (fun (bu, bl) (u, l) ->
+                    if rank ?salt u < rank ?salt bu then (u, l) else (bu, bl))
+                  first rest
+              in
+              parent_of.(v) <- Some (u, lid);
+              false)
+        uncovered
+    in
+    (* Step 2: greedy set cover — repeatedly add the lower-layer switch
+       attaching the most still-uncovered members of layer i+1. *)
+    let uncovered = ref uncovered in
+    while !uncovered <> [] do
+      let coverage = Hashtbl.create 16 in
+      List.iter
+        (fun v ->
+          List.iter
+            (fun (u, _) ->
+              Hashtbl.replace coverage u
+                (1 + Option.value (Hashtbl.find_opt coverage u) ~default:0))
+            (lower_layer_neighbors v))
+        !uncovered;
+      let best =
+        Hashtbl.fold
+          (fun u c acc ->
+            match acc with
+            | Some (bu, bc)
+              when bc > c || (bc = c && rank ?salt bu <= rank ?salt u) ->
+                acc
+            | _ -> Some (u, c))
+          coverage None
+      in
+      match best with
+      | None ->
+          (* With BFS layers this is impossible — BFS guarantees a
+             predecessor on a live shortest path.  A caller-supplied
+             layering can strand a member, which is a layering bug. *)
+          invalid_arg
+            (Printf.sprintf
+               "Layer_peel: layering not peelable — no lower-layer parent \
+                for a layer-%d member"
+               (i + 1))
+      | Some (u, _) ->
+          in_tree.(u) <- true;
+          uncovered :=
+            List.filter
+              (fun v ->
+                match List.assoc_opt u (lower_layer_neighbors v) with
+                | Some lid ->
+                    parent_of.(v) <- Some (u, lid);
+                    false
+                | None -> true)
+              !uncovered
+    done
+  done;
+  (* With seeds, survivors that no longer feed any destination are
+     dead weight — prune to the union of dest-to-root chains.
+     (Plain builds only ever add covering switches, so every member
+     already feeds a destination.) *)
+  if seeds <> [] then begin
+    let needed = Array.make n false in
+    needed.(source) <- true;
+    let rec mark v =
+      if not needed.(v) then begin
+        needed.(v) <- true;
+        match parent_of.(v) with Some (p, _) -> mark p | None -> ()
+      end
+    in
+    List.iter mark dests;
+    for v = 0 to n - 1 do
+      if not needed.(v) then parent_of.(v) <- None
+    done
+  end;
+  let parents = ref [] in
+  for v = 0 to n - 1 do
+    match parent_of.(v) with
+    | Some (p, lid) -> parents := (v, (p, lid)) :: !parents
+    | None -> ()
+  done;
+  Tree.of_parents g ~root:source ~parents:!parents
+
 let build_seeded ?salt g ~source ~dests ~seeds =
   let dests = List.sort_uniq compare (List.filter (fun d -> d <> source) dests) in
   match reach_info g ~source ~dests with
   | None -> None
   | Some (dist, far) ->
-      let n = Graph.num_nodes g in
-      (* Bucket nodes into hop layers 0..far. *)
-      let layers = Array.make (far + 1) [] in
-      for v = n - 1 downto 0 do
-        let d = dist.(v) in
-        if d <> Graph.unreachable && d <= far then layers.(d) <- v :: layers.(d)
-      done;
-      let in_tree = Array.make n false in
-      let parent_of = Array.make n None in
-      in_tree.(source) <- true;
-      List.iter (fun d -> in_tree.(d) <- true) dests;
-      (* Pre-seed surviving bindings (re-peeling): the greedy below never
-         overwrites an existing parent, so seeded subtrees keep their
-         exact shape and peeling only extends around them. *)
-      List.iter
-        (fun (v, (p, lid)) ->
-          in_tree.(v) <- true;
-          in_tree.(p) <- true;
-          parent_of.(v) <- Some (p, lid))
-        seeds;
-      (* Candidate parents of [v] on the previous layer: in-neighbors at
-         distance [dist v - 1] over up links. *)
-      let prev_layer_neighbors v =
-        let dv = dist.(v) in
-        Array.to_list (Graph.out_links g v)
-        |> List.filter_map (fun (u, lid) ->
-               let rev = Graph.peer_link lid in
-               if Graph.link_up g rev && dist.(u) = dv - 1 then Some (u, rev)
-               else None)
-      in
-      for i = far - 1 downto 0 do
-        (* Members of layer i+1 still lacking a parent. *)
-        let uncovered =
-          List.filter (fun v -> in_tree.(v) && parent_of.(v) = None) layers.(i + 1)
-        in
-        (* Step 1: attach to layer-i nodes already in the tree. *)
-        let uncovered =
-          List.filter
-            (fun v ->
-              let existing =
-                List.filter (fun (u, _) -> in_tree.(u)) (prev_layer_neighbors v)
-              in
-              match existing with
-              | [] -> true
-              | first :: rest ->
-                  let u, lid =
-                    List.fold_left
-                      (fun (bu, bl) (u, l) ->
-                        if rank ?salt u < rank ?salt bu then (u, l) else (bu, bl))
-                      first rest
-                  in
-                  parent_of.(v) <- Some (u, lid);
-                  false)
-            uncovered
-        in
-        (* Step 2: greedy set cover — repeatedly add the layer-i switch
-           attaching the most still-uncovered members of layer i+1. *)
-        let uncovered = ref uncovered in
-        while !uncovered <> [] do
-          let coverage = Hashtbl.create 16 in
-          List.iter
-            (fun v ->
-              List.iter
-                (fun (u, _) ->
-                  Hashtbl.replace coverage u
-                    (1 + Option.value (Hashtbl.find_opt coverage u) ~default:0))
-                (prev_layer_neighbors v))
-            !uncovered;
-          let best =
-            Hashtbl.fold
-              (fun u c acc ->
-                match acc with
-                | Some (bu, bc)
-                  when bc > c || (bc = c && rank ?salt bu <= rank ?salt u) ->
-                    acc
-                | _ -> Some (u, c))
-              coverage None
-          in
-          match best with
-          | None ->
-              (* Unreachable layer member: impossible because BFS
-                 guarantees a predecessor on a live shortest path. *)
-              assert false
-          | Some (u, _) ->
-              in_tree.(u) <- true;
-              uncovered :=
-                List.filter
-                  (fun v ->
-                    match List.assoc_opt u (prev_layer_neighbors v) with
-                    | Some lid ->
-                        parent_of.(v) <- Some (u, lid);
-                        false
-                    | None -> true)
-                  !uncovered
-        done
-      done;
-      (* With seeds, survivors that no longer feed any destination are
-         dead weight — prune to the union of dest-to-root chains.
-         (Plain builds only ever add covering switches, so every member
-         already feeds a destination.) *)
-      if seeds <> [] then begin
-        let needed = Array.make n false in
-        needed.(source) <- true;
-        let rec mark v =
-          if not needed.(v) then begin
-            needed.(v) <- true;
-            match parent_of.(v) with Some (p, _) -> mark p | None -> ()
-          end
-        in
-        List.iter mark dests;
-        for v = 0 to n - 1 do
-          if not needed.(v) then parent_of.(v) <- None
-        done
-      end;
-      let parents = ref [] in
-      for v = 0 to n - 1 do
-        match parent_of.(v) with
-        | Some (p, lid) -> parents := (v, (p, lid)) :: !parents
-        | None -> ()
-      done;
-      Some (Tree.of_parents g ~root:source ~parents:!parents)
+      Some (peel_layers ?salt g ~lay:dist ~top:far ~source ~dests ~seeds)
 
 let build ?salt g ~source ~dests = build_seeded ?salt g ~source ~dests ~seeds:[]
+
+let peel_general ?salt ?layers g ~source ~dests =
+  match layers with
+  | None -> build ?salt g ~source ~dests
+  | Some lay ->
+      if Array.length lay <> Graph.num_nodes g then
+        invalid_arg "Layer_peel.peel_general: layering length mismatch";
+      if lay.(source) <> 0 then
+        invalid_arg "Layer_peel.peel_general: source must sit on layer 0";
+      Array.iteri
+        (fun v l ->
+          if l = 0 && v <> source then
+            invalid_arg
+              "Layer_peel.peel_general: layer 0 must hold only the source"
+          else if l < 0 then
+            invalid_arg "Layer_peel.peel_general: negative layer label")
+        lay;
+      let dests =
+        List.sort_uniq compare (List.filter (fun d -> d <> source) dests)
+      in
+      if List.exists (fun d -> lay.(d) = Graph.unreachable) dests then None
+      else begin
+        let top = List.fold_left (fun acc d -> max acc lay.(d)) 0 dests in
+        Some (peel_layers ?salt g ~lay ~top ~source ~dests ~seeds:[])
+      end
+
+(* Per-switch rule accounting when no pod/ToR prefix structure exists:
+   a switch needs one replication rule per distinct child-port set it
+   serves across the tree family (§3's static prefix rules degraded to
+   port-set rules). *)
+let port_set_rules g trees =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun tree ->
+      List.iter
+        (fun v ->
+          if Graph.kind_is_switch (Graph.node g v).Graph.kind then begin
+            let ports =
+              Tree.children tree v |> List.map snd |> List.sort compare
+            in
+            if ports <> [] then begin
+              let key = String.concat "," (List.map string_of_int ports) in
+              let set =
+                match Hashtbl.find_opt tbl v with
+                | Some s -> s
+                | None ->
+                    let s = Hashtbl.create 4 in
+                    Hashtbl.replace tbl v s;
+                    s
+              in
+              Hashtbl.replace set key ()
+            end
+          end)
+        (Tree.members tree))
+    trees;
+  Hashtbl.fold (fun v set acc -> (v, Hashtbl.length set) :: acc) tbl []
+  |> List.sort compare
 
 type delta = Add of int | Remove of int
 

@@ -21,6 +21,38 @@ val build : ?salt:int -> Graph.t -> source:int -> dests:int list -> Tree.t optio
     fabrics, the edge diversity multi-tree striping needs (§2.3's
     multicast-vs-multipath question). *)
 
+val peel_general :
+  ?salt:int ->
+  ?layers:int array ->
+  Graph.t ->
+  source:int ->
+  dests:int list ->
+  Tree.t option
+(** The outside-in greedy over an {e arbitrary} layered graph — the
+    topology-zoo generalization.  [layers] labels every node with a
+    layer; candidate parents of a member are its up-link in-neighbors
+    on any strictly lower layer (the Clos specialization where every
+    hop crosses exactly one ring is no longer assumed).  When [layers]
+    is omitted the shortest-path DAG layers ([Graph.bfs_dist]) are
+    used, and the result is {e bit-identical} to {!build} — on a Clos
+    an up neighbor is never more than one BFS ring closer, so "any
+    lower layer" degenerates to "exactly the previous ring".
+
+    A custom layering must be rooted: the source (and only the source)
+    on layer 0, no negative labels ([Graph.unreachable] excludes a
+    node); violations raise [Invalid_argument], as does a layering
+    that strands a member with no lower-layer parent over up links.
+    [None] when a destination is unreachable (excluded).  Any
+    monotone relabeling of the BFS layers yields the same tree. *)
+
+val port_set_rules : Graph.t -> Tree.t list -> (int * int) list
+(** [(switch, rules)] per switch appearing in any tree: the number of
+    {e distinct} child-port sets the switch replicates to across the
+    family — the rule currency on fabrics with no pod/ToR prefix
+    structure, where §3's [k-1] static prefix rules degrade to one
+    rule per port set.  Sorted by switch id; switches with no
+    replication fan-out are omitted. *)
+
 val repeel :
   ?salt:int -> Graph.t -> prev:Tree.t -> source:int -> dests:int list ->
   Tree.t option

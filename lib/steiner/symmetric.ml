@@ -84,7 +84,16 @@ let build fabric ~source ~dests =
             (fun tor -> add_edge g acc ~parent:src_agg ~child:tor)
             (List.sort compare tors)
       | None -> ())
-  | Fabric.Ft _ -> ());
+  | Fabric.Ft _ -> ()
+  | Fabric.Zo _ ->
+      (* No closed-form optimum beyond the source rack on zoo fabrics:
+         force the caller (Peel.multicast_tree, TREE005's lower bound)
+         onto the general layer-peeling path.  A single-rack group is
+         still exact — source -> ToR -> destinations needs no upper
+         tier. *)
+      if tors_needed <> [] then
+        invalid_arg
+          "Symmetric.build: no closed-form optimal tree on a zoo fabric");
   (* Down edges: ToR -> destination endpoint (host or GPU NIC). *)
   Hashtbl.iter
     (fun tor eps ->

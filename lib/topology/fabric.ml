@@ -1,4 +1,4 @@
-type t = Ft of Fat_tree.t | Ls of Leaf_spine.t | Rl of Rail.t
+type t = Ft of Fat_tree.t | Ls of Leaf_spine.t | Rl of Rail.t | Zo of Zoo.t
 
 let fat_tree ?hosts_per_tor ?gpus_per_host ?link_bw ?nvlink_bw ?link_latency ~k
     () =
@@ -15,25 +15,31 @@ let rail ?link_bw ?nvlink_bw ?link_latency ~rails ~groups ~servers_per_group
   Rl (Rail.create ?link_bw ?nvlink_bw ?link_latency ~rails ~groups
         ~servers_per_group ~spines ())
 
+let of_zoo z = Zo z
+
 let graph = function
   | Ft f -> f.Fat_tree.graph
   | Ls l -> l.Leaf_spine.graph
   | Rl r -> r.Rail.graph
+  | Zo z -> z.Zoo.graph
 
 let gpus = function
   | Ft f -> f.Fat_tree.gpus
   | Ls l -> l.Leaf_spine.gpus
   | Rl r -> r.Rail.gpus
+  | Zo _ -> [||]
 
 let hosts = function
   | Ft f -> f.Fat_tree.hosts
   | Ls l -> l.Leaf_spine.hosts
   | Rl r -> r.Rail.hosts
+  | Zo z -> z.Zoo.hosts
 
 let tors = function
   | Ft f -> f.Fat_tree.tors
   | Ls l -> l.Leaf_spine.leaves
   | Rl r -> r.Rail.tors
+  | Zo z -> z.Zoo.tors
 
 let endpoints t =
   let g = gpus t in
@@ -45,6 +51,7 @@ let host_of_gpu t gpu =
     | Ft f -> f.Fat_tree.host_of_gpu
     | Ls l -> l.Leaf_spine.host_of_gpu
     | Rl r -> r.Rail.host_of_gpu
+    | Zo _ -> invalid_arg "Fabric.host_of_gpu: zoo fabrics carry no GPUs"
   in
   let h = a.(gpu) in
   if h < 0 then invalid_arg "Fabric.host_of_gpu: not a GPU node";
@@ -58,6 +65,10 @@ let tor_of_host t host =
       x
   | Ls l ->
       let x = l.Leaf_spine.leaf_of_host.(host) in
+      if x < 0 then invalid_arg "Fabric.tor_of_host: not a host node";
+      x
+  | Zo z ->
+      let x = z.Zoo.tor_of_host.(host) in
       if x < 0 then invalid_arg "Fabric.tor_of_host: not a host node";
       x
   | Rl _ ->
@@ -76,18 +87,24 @@ let attach_tor t v =
       let tor = r.Rail.tor_of_gpu.(v) in
       if tor < 0 then invalid_arg "Fabric.attach_tor: not a rail endpoint";
       tor
-  | Ft _ | Ls _ -> tor_of_host t (endpoint_host t v)
+  | Ft _ | Ls _ | Zo _ -> tor_of_host t (endpoint_host t v)
 
-let pods = function Ft f -> f.Fat_tree.pods | Ls _ -> 1 | Rl _ -> 1
+let pods = function
+  | Ft f -> f.Fat_tree.pods
+  | Ls _ -> 1
+  | Rl _ -> 1
+  | Zo z -> z.Zoo.pods
 
 let tors_per_pod = function
   | Ft f -> f.Fat_tree.k / 2
   | Ls l -> Array.length l.Leaf_spine.leaves
   | Rl r -> Array.length r.Rail.tors
+  | Zo z ->
+      Array.fold_left (fun acc p -> max acc (Array.length p)) 0 z.Zoo.tors_of_pod
 
 let pod_of_tor t tor =
   match t with
-  | Ft _ -> (Graph.node (graph t) tor).Graph.pod
+  | Ft _ | Zo _ -> (Graph.node (graph t) tor).Graph.pod
   | Ls _ | Rl _ -> 0
 
 let tor_idx_in_pod t tor = (Graph.node (graph t) tor).Graph.idx
@@ -101,12 +118,17 @@ let tors_of_pod t p =
   | Rl r ->
       if p <> 0 then invalid_arg "Fabric.tors_of_pod: rail fabric has one pod";
       r.Rail.tors
+  | Zo z ->
+      if p < 0 || p >= z.Zoo.pods then
+        invalid_arg "Fabric.tors_of_pod: pod outside the zoo fabric";
+      z.Zoo.tors_of_pod.(p)
 
 let failure_domain t tier =
   match t with
   | Ft f -> Fat_tree.fabric_duplex_links f tier
   | Ls l -> Leaf_spine.spine_leaf_duplex_links l
   | Rl r -> Rail.spine_tor_duplex_links r
+  | Zo z -> Zoo.inter_switch_duplex_links z
 
 let fail_random t ~rng ~tier ~fraction ?(ensure_connected = true) () =
   if fraction < 0.0 || fraction > 1.0 then
@@ -155,3 +177,36 @@ let describe t =
   | Rl r ->
       Printf.sprintf "rail-optimized %d rails x %d groups x %d servers (%d gpus)"
         r.Rail.rails r.Rail.groups r.Rail.servers_per_group (Rail.num_gpus r)
+  | Zo z -> Zoo.describe z
+
+(* ------------------------------------------------------------------ *)
+(* Introspection helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let layer_of t v =
+  match t with
+  | Zo z -> Zoo.layer_of z v
+  | Ft _ | Ls _ | Rl _ -> (
+      match (Graph.node (graph t) v).Graph.kind with
+      | Graph.Gpu | Graph.Host -> 0
+      | Graph.Tor -> 1
+      | Graph.Agg | Graph.Spine -> 2
+      | Graph.Core -> 3)
+
+let num_layers = function
+  | Ft _ -> 4
+  | Ls _ | Rl _ -> 3
+  | Zo z -> Zoo.num_layers z
+
+let switches_at_layer t l =
+  match t with
+  | Zo z -> Zoo.switches_at_layer z l
+  | Ft _ | Ls _ | Rl _ ->
+      Graph.nodes (graph t) |> Array.to_list
+      |> List.filter_map (fun (nd : Graph.node) ->
+             if Graph.kind_is_switch nd.Graph.kind && layer_of t nd.Graph.id = l
+             then Some nd.Graph.id
+             else None)
+      |> Array.of_list
+
+let num_endpoints t = Array.length (endpoints t)

@@ -1,11 +1,13 @@
-(** Unified view over the two Clos flavours the paper evaluates.
+(** Unified view over every fabric flavour the repository evaluates.
 
     Upper layers (Steiner trees, the prefix engine, the simulator) are
     written against this interface so each algorithm runs unchanged on a
-    fat-tree or a leaf–spine.  For a leaf–spine the whole fabric is
-    treated as a single pod whose "ToRs" are the leaves. *)
+    fat-tree, a leaf–spine, a rail-optimized fabric or any topology-zoo
+    fabric ({!Zoo}).  Single-pod fabrics (leaf–spine, rail, the flat zoo
+    classes) are treated as one pod whose "ToRs" are the switches the
+    endpoints attach to. *)
 
-type t = Ft of Fat_tree.t | Ls of Leaf_spine.t | Rl of Rail.t
+type t = Ft of Fat_tree.t | Ls of Leaf_spine.t | Rl of Rail.t | Zo of Zoo.t
 
 val fat_tree :
   ?hosts_per_tor:int ->
@@ -41,6 +43,12 @@ val rail :
 (** Rail-optimized fabric (§2.1 future work): GPU [r] of every server
     attaches to its group's rail-[r] ToR; rail ToRs connect to all
     spines. One flat pod for prefix addressing. *)
+
+val of_zoo : Zoo.t -> t
+(** Wrap a topology-zoo fabric ({!Zoo.abfattree}, {!Zoo.vl2},
+    {!Zoo.jellyfish}, {!Zoo.xpander}).  The abfattree keeps its real
+    pods (pod prefixes work as on a fat-tree); the flat classes are one
+    pod, like a leaf–spine. *)
 
 val graph : t -> Graph.t
 val gpus : t -> int array
@@ -97,3 +105,27 @@ val recover_link : t -> int -> unit
 
 val describe : t -> string
 (** One-line human description, e.g. "fat-tree k=8 (128 hosts, 1024 gpus)". *)
+
+(** {1 Introspection}
+
+    Structural views the topology zoo and the experiment harness share,
+    so callers never recount tiers or endpoints by hand. *)
+
+val layer_of : t -> int -> int
+(** Structural layer of a node: 0 for endpoints (GPUs and hosts), 1 for
+    ToRs/leaves, 2 for aggregation/spine switches, 3 for cores and VL2
+    intermediates.  Zoo fabrics answer from their generator's layer
+    annotation ({!Zoo.layer_of}); expander classes put every switch on
+    layer 1 (their planner layers are per-source BFS levels instead). *)
+
+val num_layers : t -> int
+(** [1 + max layer]: 4 on a fat-tree/abfattree/VL2, 3 on leaf–spine and
+    rail fabrics, 2 on the expander classes. *)
+
+val switches_at_layer : t -> int -> int array
+(** Switch node ids on a structural layer, ascending; empty for layers
+    holding no switches. *)
+
+val num_endpoints : t -> int
+(** [Array.length (endpoints t)] — the number of nodes collectives run
+    between. *)

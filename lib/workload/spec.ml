@@ -15,6 +15,7 @@ let gpus_per_server fabric =
   | Fabric.Ft f -> max 1 f.Fat_tree.gpus_per_host
   | Fabric.Ls l -> max 1 l.Leaf_spine.gpus_per_host
   | Fabric.Rl r -> r.Rail.rails
+  | Fabric.Zo _ -> 1
 
 let place fabric rng ~scale ?(fragmentation = 0.0) () =
   let endpoints = Fabric.endpoints fabric in
@@ -89,7 +90,7 @@ let nic_bandwidth = 12.5e9
 
 let mean_interarrival fabric ~scale ~bytes ~load =
   if load <= 0.0 || load > 1.0 then invalid_arg "Spec.mean_interarrival: load in (0,1]";
-  let n = Array.length (Fabric.endpoints fabric) in
+  let n = Fabric.num_endpoints fabric in
   let capacity = float_of_int n *. nic_bandwidth in
   bytes *. float_of_int scale /. (load *. capacity)
 

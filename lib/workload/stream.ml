@@ -61,7 +61,7 @@ type t = {
 
 let validate_tenant fabric i t =
   let fail fmt = Printf.ksprintf invalid_arg fmt in
-  let n = Array.length (Fabric.endpoints fabric) in
+  let n = Fabric.num_endpoints fabric in
   if t.rate < 0.0 || not (Float.is_finite t.rate) then
     fail "Stream.create: tenant %d rate must be finite and >= 0" i;
   if t.scale < 2 || t.scale > n then

@@ -9,7 +9,10 @@
 # jobs=4 bit-equality plus the SIM008 window-causality lint), the
 # @compile-smoke alias certifies the fleet-level rule compiler and
 # proves every seeded table corruption is caught by its CMP code
-# (CMP001-005), and the unit suite exercises every diagnostic code. The experiment-harness
+# (CMP001-005), the @zoo-smoke alias certifies generalized
+# layer-peeling on every topology-zoo class and proves each seeded
+# TOPO corruption is caught by its code (TOPO001-004), and the unit
+# suite exercises every diagnostic code. The experiment-harness
 # suite carries the parallel-sweep determinism gate: it re-runs the
 # fig5 sweep under 1 and 4 worker domains and fails unless the rows
 # are bit-identical. The documentation gate lives in scripts/docs.sh
@@ -23,6 +26,7 @@ dune build @par-smoke
 dune build @failover-smoke
 dune build @ctrl-smoke
 dune build @compile-smoke
+dune build @zoo-smoke
 dune exec test/test_check.exe -- -c
 dune exec test/test_compile.exe -- -c
 dune exec test/test_experiments.exe -- -c

@@ -62,7 +62,7 @@ let test_plan_paper_prefix_example () =
   let hosts_of tor =
     match f with
     | Fabric.Ft ft -> ft.Fat_tree.hosts_of_tor.(Peel_topology.Fat_tree.tor_index ft tor)
-    | Fabric.Ls _ | Fabric.Rl _ -> assert false
+    | Fabric.Ls _ | Fabric.Rl _ | Fabric.Zo _ -> assert false
   in
   let dests = List.concat_map (fun i -> Array.to_list (hosts_of tors.(i))) [ 2; 3; 4; 5; 6; 7 ] in
   (* Source in the same pod, ToR 0. *)
@@ -93,7 +93,7 @@ let test_plan_budget_overcovers () =
   let hosts_of tor =
     match f with
     | Fabric.Ft ft -> ft.Fat_tree.hosts_of_tor.(Peel_topology.Fat_tree.tor_index ft tor)
-    | Fabric.Ls _ | Fabric.Rl _ -> assert false
+    | Fabric.Ls _ | Fabric.Rl _ | Fabric.Zo _ -> assert false
   in
   let dests = List.concat_map (fun i -> Array.to_list (hosts_of tors.(i))) [ 0; 2; 4; 6 ] in
   (* Source on a non-member ToR so all four target racks stay targets. *)
@@ -224,7 +224,7 @@ let test_dataplane_budgeted_plan () =
   let hosts_of tor =
     match f with
     | Fabric.Ft ft -> ft.Fat_tree.hosts_of_tor.(Peel_topology.Fat_tree.tor_index ft tor)
-    | Fabric.Ls _ | Fabric.Rl _ -> assert false
+    | Fabric.Ls _ | Fabric.Rl _ | Fabric.Zo _ -> assert false
   in
   let dests = List.concat_map (fun i -> Array.to_list (hosts_of tors.(i))) [ 0; 2; 4; 6 ] in
   let source = (hosts_of tors.(1)).(0) in

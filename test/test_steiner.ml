@@ -211,7 +211,7 @@ let test_symmetric_same_host_gpus () =
       check_valid (Fabric.graph f) t ~dests;
       (* gpu -> host -> 2 gpus: 3 NVLink edges, no fabric edge. *)
       Alcotest.(check int) "3 edges" 3 (Tree.cost t)
-  | Fabric.Ls _ | Fabric.Rl _ -> Alcotest.fail "expected fat-tree")
+  | Fabric.Ls _ | Fabric.Rl _ | Fabric.Zo _ -> Alcotest.fail "expected fat-tree")
 
 let test_symmetric_cross_pod_gpu () =
   let f = Fabric.fat_tree ~k:4 ~gpus_per_host:2 () in
@@ -303,7 +303,7 @@ let test_peel_paper_example_shape () =
          + 1 (leaf->spine1) + 3 (spine->leaves) + 3 (leaf->host) = 8. *)
       Alcotest.(check int) "routes around failures" 8 (Tree.cost t);
       Graph.restore_all g
-  | Fabric.Ft _ | Fabric.Rl _ -> Alcotest.fail "expected leaf-spine")
+  | Fabric.Ft _ | Fabric.Rl _ | Fabric.Zo _ -> Alcotest.fail "expected leaf-spine")
 
 let test_peel_deterministic () =
   let f = Fabric.fat_tree ~k:4 () in
