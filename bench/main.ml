@@ -50,6 +50,9 @@ let experiments : (string * string * (Common.mode -> unit)) list =
     ("scale", "E19 (ext): sharded-engine scale sweep, k=16/32/64", Exp_scale.run);
     ("service", "E20 (ext): open-loop service control plane", Exp_service.run);
     ("zoo", "E21 (ext): topology zoo vs exact-Steiner oracle", Exp_zoo.run);
+    ( "serve-scale",
+      "E22 (ext): million-group service fast path",
+      Exp_serve_scale.run );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -99,6 +102,20 @@ let micro_tests () =
     Test.make ~name:"budgeted_cover_m6_b4"
       (Staged.stage (fun () ->
            ignore (Peel_prefix.Cover.budgeted_cover ~m:6 ~budget:4 tor_targets)));
+    (* 1k installs into a full LRU table: every install pops the heap
+       root and sifts the newcomer — the operation the old O(capacity)
+       victim scan made linear. *)
+    Test.make ~name:"tcam_evict_1k"
+      (Staged.stage (fun () ->
+           let t = Peel_ctrl.Tcam.create ~capacity:1024 ~policy:Peel_ctrl.Tcam.Lru in
+           for g = 0 to 1023 do
+             ignore
+               (Peel_ctrl.Tcam.install t ~now:(float_of_int g) ~switch:0 ~group:g)
+           done;
+           for g = 1024 to 2047 do
+             ignore
+               (Peel_ctrl.Tcam.install t ~now:(float_of_int g) ~switch:0 ~group:g)
+           done));
     Test.make ~name:"heap_push_pop_10k"
       (Staged.stage (fun () ->
            let h = Peel_util.Pairing_heap.create () in
@@ -231,8 +248,8 @@ let baseline_wall_for baseline ~mode name =
       | _ -> None)
 
 let write_bench_json ~mode ~baseline ~exp_times ~micro ~headline ~failover
-    ~refinement ~compile ~scale ~scale_speedup ~service ~service_slo ~zoo
-    ~total =
+    ~refinement ~compile ~scale ~scale_speedup ~service ~service_slo
+    ~serve_scale ~serve_scale_slo ~zoo ~total =
   let opt_num = function Some x -> Json.num x | None -> Json.Null in
   let experiment_entry (name, wall) =
     let speedup =
@@ -267,6 +284,8 @@ let write_bench_json ~mode ~baseline ~exp_times ~micro ~headline ~failover
          ("scale_speedup", scale_speedup);
          ("service", service);
          ("service_slo", service_slo);
+         ("serve_scale", serve_scale);
+         ("serve_scale_slo", serve_scale_slo);
          ("zoo", zoo);
          ("total_wall_s", Json.num total);
        ]
@@ -399,6 +418,15 @@ let run_guard () =
           (Json.member "service" doc)
           (Exp_service.rows_json Common.Quick)
       in
+      (* The scale rows pin the arena-backed service's counters and all
+         three replay fingerprints (jobs=1 / jobs=4 / cache-off) at the
+         10^6-group cell; the wall-clock "serve_scale_slo" section —
+         where the reference baseline runs — is NOT guarded. *)
+      let serve_scale =
+        guard_section "serve_scale"
+          (Json.member "serve_scale" doc)
+          (Exp_serve_scale.rows_json Common.Quick)
+      in
       (* The zoo record folds the approximation ratios, the port-set
          rule accounting and the expander reconfiguration runs into one
          seeded, jobs-invariant object. *)
@@ -408,7 +436,8 @@ let run_guard () =
           (Exp_zoo.rows_json Common.Quick)
       in
       let failures =
-        headline + failover + refinement + compile + scale + service + zoo
+        headline + failover + refinement + compile + scale + service
+        + serve_scale + zoo
         + guard_jobs_determinism ()
       in
       if failures > 0 then begin
@@ -487,10 +516,12 @@ let () =
     let scale_speedup = Exp_scale.speedup_json Common.Quick in
     let service = Exp_service.rows_json Common.Quick in
     let service_slo = Exp_service.slo_json Common.Quick in
+    let serve_scale = Exp_serve_scale.rows_json Common.Quick in
+    let serve_scale_slo = Exp_serve_scale.slo_json Common.Quick in
     let zoo = Exp_zoo.rows_json Common.Quick in
     let total = Unix.gettimeofday () -. t0 in
     write_bench_json ~mode ~baseline ~exp_times ~micro ~headline ~failover
-      ~refinement ~compile ~scale ~scale_speedup ~service ~service_slo ~zoo
-      ~total;
+      ~refinement ~compile ~scale ~scale_speedup ~service ~service_slo
+      ~serve_scale ~serve_scale_slo ~zoo ~total;
     Printf.printf "\ntotal wall time: %.1f s (BENCH.json written)\n" total
   end

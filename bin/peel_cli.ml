@@ -1022,8 +1022,16 @@ let serve_cmd =
       value & flag
       & info [ "json" ] ~doc:"Print the SLO record as JSON instead of a table.")
   in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the peel/plan memo caches.  Decisions are recomputed \
+             from scratch; the replay fingerprint must not change.")
+  in
   let run fabric seed scale events rate size_mb hold churn sends fragmentation
-      capacity policy admission batch budget quiet json jobs =
+      capacity policy admission batch budget quiet json no_cache jobs =
     let module D = Peel_check.Diagnostic in
     let module Json = Peel_util.Json in
     apply_jobs jobs;
@@ -1035,6 +1043,7 @@ let serve_cmd =
         admission;
         batch = Option.value batch ~default:Service.default_config.Service.batch;
         budget = (if budget <= 0 then None else Some budget);
+        use_cache = not no_cache;
       }
     in
     let tenants =
@@ -1043,14 +1052,22 @@ let serve_cmd =
           ~fragmentation ();
       ]
     in
-    let serve jobs =
+    let serve ?(cfg = cfg) jobs =
       let stream = Stream.create fabric (Rng.create seed) ~tenants () in
       Service.run ~cfg ~jobs fabric ~events stream
     in
     (* The SVC005 replay contract: a single-domain run and a pool-sized
-       run must produce byte-identical decision logs. *)
+       run must produce byte-identical decision logs — and so must a
+       run with the memo caches disabled (cache neutrality). *)
     let out1 = serve 1 in
     let out = serve (Peel_util.Pool.default_jobs ()) in
+    let cache_ds =
+      if not cfg.Service.use_cache then []
+      else
+        let nc = serve ~cfg:{ cfg with Service.use_cache = false } 1 in
+        Check_service.check_replay ~first:out1.Service.o_fingerprint
+          ~second:nc.Service.o_fingerprint
+    in
     let s = out.Service.o_slo in
     if not quiet && not json then begin
       Printf.printf "fabric: %s; %d-GPU groups at %.0f/s, %.0f MB sends\n"
@@ -1091,6 +1108,9 @@ let serve_cmd =
             Printf.sprintf "%s / %s"
               (Peel_util.Table.fsec s.Service.plan_p50_s)
               (Peel_util.Table.fsec s.Service.plan_p99_s) ];
+          [ "cache hits / misses";
+            Printf.sprintf "%d / %d" s.Service.cache_hits
+              s.Service.cache_misses ];
           [ "events/sec"; Printf.sprintf "%.0f" s.Service.events_per_sec ];
           [ "fingerprint"; out.Service.o_fingerprint ];
         ];
@@ -1113,6 +1133,8 @@ let serve_cmd =
                 ("max_backlog", Json.int s.Service.max_backlog);
                 ("plan_p50_s", Json.num s.Service.plan_p50_s);
                 ("plan_p99_s", Json.num s.Service.plan_p99_s);
+                ("cache_hits", Json.int s.Service.cache_hits);
+                ("cache_misses", Json.int s.Service.cache_misses);
                 ("events_per_sec", Json.num s.Service.events_per_sec);
                 ("fingerprint", Json.str out.Service.o_fingerprint);
               ]));
@@ -1120,6 +1142,7 @@ let serve_cmd =
       Check_service.check_state out
       @ Check_service.check_replay ~first:out1.Service.o_fingerprint
           ~second:out.Service.o_fingerprint
+      @ cache_ds
     in
     if ds <> [] && not quiet then Format.printf "%a" D.pp_report ds;
     let errs = D.errors ds in
@@ -1137,7 +1160,7 @@ let serve_cmd =
     Term.(
       const run $ fabric_term $ seed_term $ scale_term $ events $ rate
       $ size_mb $ hold $ churn $ sends $ fragmentation $ capacity $ policy
-      $ admission $ batch $ budget $ quiet $ json $ jobs_term)
+      $ admission $ batch $ budget $ quiet $ json $ no_cache $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* compile                                                             *)

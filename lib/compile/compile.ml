@@ -159,10 +159,7 @@ let merge_down ~m ~target tbl =
   done;
   !merges
 
-let compile ?capacity ?(aggregate = false) fabric batch =
-  (match capacity with
-  | Some c when c < 1 -> invalid_arg "Compile.compile: capacity must be >= 1"
-  | _ -> ());
+let validate_batch ~m_tor ~m_pod batch =
   let seen = Hashtbl.create 16 in
   List.iter
     (fun (gid, _) ->
@@ -170,8 +167,6 @@ let compile ?capacity ?(aggregate = false) fabric batch =
         invalid_arg (Printf.sprintf "Compile.compile: duplicate group id %d" gid);
       Hashtbl.replace seen gid ())
     batch;
-  let m_tor = Plan.tor_id_bits fabric in
-  let m_pod = Plan.pod_id_bits fabric in
   (* Validate every plan prefix against the fabric's id spaces before
      touching any table — a foreign plan must not poison the batch. *)
   List.iter
@@ -191,7 +186,15 @@ let compile ?capacity ?(aggregate = false) fabric batch =
                   (Printf.sprintf "Compile.compile: group %d: pod prefix: %s" gid
                      msg)))
         plan.Plan.packets)
-    batch;
+    batch
+
+let compile ?capacity ?(aggregate = false) fabric batch =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Compile.compile: capacity must be >= 1"
+  | _ -> ());
+  let m_tor = Plan.tor_id_bits fabric in
+  let m_pod = Plan.pod_id_bits fabric in
+  validate_batch ~m_tor ~m_pod batch;
   (* Collect header uses per logical switch; dedup falls out of the
      prefix-keyed working tables. *)
   let working : (switch, (Cover.prefix, work) Hashtbl.t) Hashtbl.t =
@@ -390,6 +393,34 @@ let max_entries t =
 
 let total_entries t =
   List.fold_left (fun acc tb -> acc + List.length tb.entries) 0 t.tables
+
+(* [total_entries (compile fabric batch)] without freezing tables,
+   stamping owners or replaying headers: the unaggregated entry count
+   is the number of distinct (switch, prefix) uses, which the
+   collection pass alone determines.  Validation (duplicate gids,
+   foreign prefixes) raises exactly as [compile] would. *)
+let count_entries fabric batch =
+  let m_tor = Plan.tor_id_bits fabric in
+  let m_pod = Plan.pod_id_bits fabric in
+  validate_batch ~m_tor ~m_pod batch;
+  let used : (switch * Cover.prefix, unit) Hashtbl.t = Hashtbl.create 64 in
+  let n = ref 0 in
+  let use sw prefix =
+    let key = (sw, prefix) in
+    if not (Hashtbl.mem used key) then begin
+      Hashtbl.replace used key ();
+      incr n
+    end
+  in
+  List.iter
+    (fun (_gid, (plan : Plan.t)) ->
+      List.iter
+        (fun (p : Plan.packet) ->
+          (match p.Plan.pod_prefix with None -> () | Some pp -> use Core pp);
+          List.iter (fun pod -> use (Agg pod) p.Plan.tor_prefix) p.Plan.pods)
+        plan.Plan.packets)
+    batch;
+  !n
 
 let fits t =
   match t.capacity with

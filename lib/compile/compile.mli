@@ -107,6 +107,14 @@ val max_entries : t -> int
 val total_entries : t -> int
 (** Entries summed over every compiled table. *)
 
+val count_entries : Fabric.t -> (int * Peel.Plan.t) list -> int
+(** [total_entries (compile fabric batch)] without building the
+    tables: the unaggregated entry count is the number of distinct
+    (switch, prefix) pairs the batch uses, determined by the
+    collection pass alone.  Validates the batch (duplicate group ids,
+    foreign prefixes) exactly as {!compile} does.  The service's flush
+    hot path uses this when only the count is consumed. *)
+
 val fits : t -> bool
 (** Every table within [capacity] ([true] when no capacity was
     given). *)

@@ -15,3 +15,12 @@ let compile ?capacity ?aggregate fabric batch =
     Peel_check.assert_valid ~what:"compiled rule tables"
       (Check_compile.check fabric t);
   t
+
+(* Entry count of an unaggregated compile, for callers that discard
+   the tables themselves (the service flush hot path).  In debug mode
+   ([PEEL_CHECK=1]) the full checked compile runs instead, so every
+   flushed batch is still re-proved equivalent — and the counts agree
+   by construction. *)
+let count_entries fabric batch =
+  if Peel_check.enabled () then Compile.total_entries (compile fabric batch)
+  else Compile.count_entries fabric batch

@@ -1,28 +1,28 @@
 open Peel_topology
 module D = Peel_check.Diagnostic
+module G = Group_table
 
 let member_racks fabric members =
   List.sort_uniq compare (List.map (Fabric.attach_tor fabric) members)
 
-let check_group_cover (out : Service.outcome) gid (gs : Service.gstate) =
+let check_group_cover (out : Service.outcome) slot =
   let fabric = out.Service.o_fabric in
   let g = Fabric.graph fabric in
+  let groups = out.Service.o_groups in
+  let gid = G.gid groups slot in
+  let members = G.member_list groups slot in
   let loc = Printf.sprintf "group %d" gid in
   let ds = ref [] in
   let add d = ds := d :: !ds in
-  let racks = member_racks fabric gs.Service.sg_members in
-  let entry =
-    Peel.Dataplane.exact_entry fabric ~group:gid ~members:gs.Service.sg_members
-  in
-  (match
-     Peel.Dataplane.verify_exact fabric entry ~members:gs.Service.sg_members
-   with
+  let racks = member_racks fabric members in
+  let entry = Peel.Dataplane.exact_entry fabric ~group:gid ~members in
+  (match Peel.Dataplane.verify_exact fabric entry ~members with
   | Ok () -> ()
   | Error msg -> add (D.errorf ~code:"SVC001" ~loc "%s" msg));
   let tree_tors =
     List.filter
       (fun v -> (Graph.node g v).Graph.kind = Graph.Tor)
-      (Peel_steiner.Tree.members gs.Service.sg_tree)
+      (Peel_steiner.Tree.members (G.tree groups slot))
   in
   List.iter
     (fun tor ->
@@ -68,11 +68,13 @@ let check_stages (out : Service.outcome) =
   match out.Service.o_tcam with
   | None -> []
   | Some tc ->
-      Hashtbl.fold
-        (fun gid (gs : Service.gstate) acc ->
+      let groups = out.Service.o_groups in
+      G.fold
+        (fun acc slot ->
+          let gid = G.gid groups slot in
           let loc = Printf.sprintf "group %d" gid in
-          match gs.Service.sg_stage with
-          | Service.Fallback ->
+          match G.stage groups slot with
+          | G.Fallback ->
               (* An evicted or denied group must hold no entry anywhere:
                  partial sets cannot replicate exactly, so the data
                  plane must see it as pure unicast. *)
@@ -85,7 +87,7 @@ let check_stages (out : Service.outcome) =
                   else None)
                 (Tcam.occupancy tc)
               @ acc
-          | Service.Installed ->
+          | G.Installed ->
               (* Complete entry set: one entry at every switch of the
                  current tree. *)
               List.filter_map
@@ -95,10 +97,10 @@ let check_stages (out : Service.outcome) =
                       (D.errorf ~code:"SVC003" ~loc
                          "installed group misses its entry at switch %d" sw)
                   else None)
-                gs.Service.sg_switches
+                (G.switches groups slot)
               @ acc
-          | Service.Pending -> acc)
-        out.Service.o_groups []
+          | G.Pending -> acc)
+        groups []
 
 let check_departed (out : Service.outcome) =
   let stale =
@@ -128,12 +130,26 @@ let check_departed (out : Service.outcome) =
         else None)
       out.Service.o_pending
   in
-  stale @ pending
+  (* Generation honesty: a departed gid must not resolve to a live
+     arena slot — its slot was freed (and possibly recycled under a
+     different gid, which is fine). *)
+  let recycled =
+    Hashtbl.fold
+      (fun gid () acc ->
+        match G.find out.Service.o_groups ~gid with
+        | Some _ ->
+            D.errorf ~code:"SVC004" ~loc:(Printf.sprintf "group %d" gid)
+              "departed group still occupies a live arena slot"
+            :: acc
+        | None -> acc)
+      out.Service.o_departed []
+  in
+  stale @ pending @ recycled
 
 let check_state (out : Service.outcome) =
   let covers =
-    Hashtbl.fold
-      (fun gid gs acc -> check_group_cover out gid gs @ acc)
+    G.fold
+      (fun acc slot -> check_group_cover out slot @ acc)
       out.Service.o_groups []
   in
   D.sort (covers @ check_budget out @ check_stages out @ check_departed out)

@@ -12,13 +12,14 @@
       holds no entry anywhere; an [Installed] group holds a complete
       entry set (one per tree switch).
     - [SVC004] — no rule for a departed group survives, at any switch
-      or in the install backlog.
+      or in the install backlog, and no departed gid still resolves to
+      a live {!Group_table} arena slot (generation honesty).
     - [SVC005] — two runs with the same seed and event stream produce
       byte-identical decision-log fingerprints (at any pool size). *)
 
 val check_group_cover :
-  Service.outcome -> int -> Service.gstate -> Peel_check.Diagnostic.t list
-(** SVC001 for one live group. *)
+  Service.outcome -> int -> Peel_check.Diagnostic.t list
+(** SVC001 for the live group at the given {!Group_table} slot. *)
 
 val check_budget : Service.outcome -> Peel_check.Diagnostic.t list
 (** SVC002. *)

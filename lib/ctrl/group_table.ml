@@ -1,0 +1,183 @@
+module Bitset = Peel_util.Bits.Bitset
+module Arena = Peel_util.Arena
+module Tree = Peel_steiner.Tree
+
+type stage = Pending | Installed | Fallback
+
+let stage_to_string = function
+  | Pending -> "pending"
+  | Installed -> "installed"
+  | Fallback -> "fallback"
+
+(* SoA arena of live group state (in the style of Peel_sim.Soa): every
+   per-group field is a column indexed by an Arena slot, member sets
+   are fixed-width bitsets over the fabric's node ids, and departed
+   slots are recycled through the arena free list with a generation
+   bump — a holder of a stale (slot, gen) handle can prove the group it
+   knew is gone (SVC004).  Columns grow geometrically in lock-step with
+   the arena. *)
+type t = {
+  width : int; (* bitset universe: fabric node count *)
+  arena : Arena.t;
+  index : (int, int) Hashtbl.t; (* gid -> slot *)
+  mutable gids : int array;
+  mutable sources : int array;
+  mutable stages : Bytes.t;
+  mutable replans : int array;
+  mutable in_pending : Bytes.t;
+  mutable members : Bitset.t option array;
+  mutable trees : Tree.t option array;
+  mutable switches : int list array;
+  mutable dists : int array array;
+}
+
+let create ?(initial = 1024) ~width () =
+  let cap = max 1 initial in
+  {
+    width;
+    arena = Arena.create ~initial:cap ();
+    index = Hashtbl.create cap;
+    gids = Array.make cap (-1);
+    sources = Array.make cap (-1);
+    stages = Bytes.make cap '\000';
+    replans = Array.make cap 0;
+    in_pending = Bytes.make cap '\000';
+    members = Array.make cap None;
+    trees = Array.make cap None;
+    switches = Array.make cap [];
+    dists = Array.make cap [||];
+  }
+
+let width t = t.width
+let live t = Arena.live_count t.arena
+let capacity t = Array.length t.gids
+
+let ensure t want =
+  let cap = Array.length t.gids in
+  if want > cap then begin
+    let cap' = ref cap in
+    while !cap' < want do
+      cap' := !cap' * 2
+    done;
+    let grow_arr a fill =
+      let a' = Array.make !cap' fill in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    let grow_bytes b =
+      let b' = Bytes.make !cap' '\000' in
+      Bytes.blit b 0 b' 0 cap;
+      b'
+    in
+    t.gids <- grow_arr t.gids (-1);
+    t.sources <- grow_arr t.sources (-1);
+    t.stages <- grow_bytes t.stages;
+    t.replans <- grow_arr t.replans 0;
+    t.in_pending <- grow_bytes t.in_pending;
+    t.members <- grow_arr t.members None;
+    t.trees <- grow_arr t.trees None;
+    t.switches <- grow_arr t.switches [];
+    t.dists <- grow_arr t.dists [||]
+  end
+
+let find t ~gid = Hashtbl.find_opt t.index gid
+let mem t ~gid = Hashtbl.mem t.index gid
+
+let stage_code = function Pending -> '\000' | Installed -> '\001' | Fallback -> '\002'
+
+let stage_of_code = function
+  | '\000' -> Pending
+  | '\001' -> Installed
+  | _ -> Fallback
+
+let add t ~gid ~source ~members ~tree ~switches ~dist ~stage =
+  if Hashtbl.mem t.index gid then
+    invalid_arg "Group_table.add: gid already present";
+  let slot, _gen = Arena.alloc t.arena in
+  ensure t (slot + 1);
+  t.gids.(slot) <- gid;
+  t.sources.(slot) <- source;
+  Bytes.set t.stages slot (stage_code stage);
+  t.replans.(slot) <- 0;
+  Bytes.set t.in_pending slot '\000';
+  (* Recycle the previous tenant's bitset when the slot comes off the
+     free list — clearing is a short memset, allocating is garbage. *)
+  let bs =
+    match t.members.(slot) with
+    | Some bs ->
+        Bitset.clear bs;
+        bs
+    | None ->
+        let bs = Bitset.create t.width in
+        t.members.(slot) <- Some bs;
+        bs
+  in
+  List.iter (fun m -> Bitset.add bs m) members;
+  t.trees.(slot) <- Some tree;
+  t.switches.(slot) <- switches;
+  t.dists.(slot) <- dist;
+  Hashtbl.replace t.index gid slot;
+  slot
+
+let remove t ~gid =
+  match Hashtbl.find_opt t.index gid with
+  | None -> false
+  | Some slot ->
+      Hashtbl.remove t.index gid;
+      t.gids.(slot) <- -1;
+      t.trees.(slot) <- None;
+      t.switches.(slot) <- [];
+      t.dists.(slot) <- [||];
+      Arena.free t.arena slot;
+      true
+
+(* ---------------- slot accessors ---------------- *)
+
+let gid t slot = t.gids.(slot)
+let source t slot = t.sources.(slot)
+let stage t slot = stage_of_code (Bytes.get t.stages slot)
+let set_stage t slot s = Bytes.set t.stages slot (stage_code s)
+let replans t slot = t.replans.(slot)
+let bump_replans t slot = t.replans.(slot) <- t.replans.(slot) + 1
+let in_pending t slot = Bytes.get t.in_pending slot <> '\000'
+
+let set_in_pending t slot b =
+  Bytes.set t.in_pending slot (if b then '\001' else '\000')
+
+let tree t slot =
+  match t.trees.(slot) with
+  | Some tr -> tr
+  | None -> invalid_arg "Group_table.tree: slot not live"
+
+let set_tree t slot tr = t.trees.(slot) <- Some tr
+let switches t slot = t.switches.(slot)
+let set_switches t slot l = t.switches.(slot) <- l
+let dist t slot = t.dists.(slot)
+
+let members_bitset t slot =
+  match t.members.(slot) with
+  | Some bs -> bs
+  | None -> invalid_arg "Group_table.members_bitset: slot never used"
+
+let member_list t slot = Bitset.to_list (members_bitset t slot)
+let add_member t slot m = Bitset.add (members_bitset t slot) m
+let remove_member t slot m = Bitset.remove (members_bitset t slot) m
+
+let set_members t slot ms =
+  let bs = members_bitset t slot in
+  Bitset.clear bs;
+  List.iter (fun m -> Bitset.add bs m) ms
+
+let generation t slot = Arena.generation t.arena slot
+let slot_live t slot = Arena.is_live t.arena slot
+let valid t ~slot ~gen = Arena.valid t.arena ~slot ~gen
+
+let iter f t = Arena.iter_live (fun slot -> f slot) t.arena
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun slot -> acc := f !acc slot) t;
+  !acc
+
+let gids_sorted t =
+  fold (fun l slot -> t.gids.(slot) :: l) t [] |> List.sort compare

@@ -1,0 +1,113 @@
+(** Arena-backed SoA store of live multicast-group state.
+
+    Replaces the service's [(gid, gstate) Hashtbl] + member lists:
+    every per-group field is a column indexed by a {!Peel_util.Arena}
+    slot, member sets are {!Peel_util.Bits.Bitset}s over the fabric's
+    node ids (membership deltas are single-bit flips), and departed
+    slots are recycled through the arena free list.  Each recycle bumps
+    the slot's generation, so a stale [(slot, gen)] handle held from
+    before a departure is detectable — the SVC004 "no stale rules"
+    lint is built on this.
+
+    Trees and distance arrays are stored by reference and may be shared
+    across slots (trees are immutable; distance arrays are per-source
+    and never written after construction). *)
+
+type stage = Pending | Installed | Fallback
+(** Install lifecycle of a group (moved here from [Service], which
+    re-exports it). *)
+
+val stage_to_string : stage -> string
+
+type t
+
+val create : ?initial:int -> width:int -> unit -> t
+(** [width] is the bitset universe — the fabric's node count.
+    [initial] (default 1024) is the starting slot capacity; columns
+    grow geometrically. *)
+
+val width : t -> int
+
+val live : t -> int
+(** Live group count — O(1). *)
+
+val capacity : t -> int
+(** Current column capacity (diagnostics). *)
+
+val add :
+  t ->
+  gid:int ->
+  source:int ->
+  members:int list ->
+  tree:Peel_steiner.Tree.t ->
+  switches:int list ->
+  dist:int array ->
+  stage:stage ->
+  int
+(** Insert a new group, returning its slot.  Raises [Invalid_argument]
+    if [gid] is already present. *)
+
+val remove : t -> gid:int -> bool
+(** Free the group's slot (generation bump + recycle); [false] if the
+    gid is unknown. *)
+
+val find : t -> gid:int -> int option
+(** Slot of a live gid. *)
+
+val mem : t -> gid:int -> bool
+
+(** {2 Per-slot accessors} — valid only for live slots (or, for
+    {!generation}, any slot ever allocated). *)
+
+val gid : t -> int -> int
+val source : t -> int -> int
+val stage : t -> int -> stage
+val set_stage : t -> int -> stage -> unit
+val replans : t -> int -> int
+val bump_replans : t -> int -> unit
+
+val in_pending : t -> int -> bool
+(** Whether the group currently sits in the service's pending-install
+    queue — the O(1) tombstone consulted at flush instead of an
+    O(pending) filter at departure. *)
+
+val set_in_pending : t -> int -> bool -> unit
+val tree : t -> int -> Peel_steiner.Tree.t
+val set_tree : t -> int -> Peel_steiner.Tree.t -> unit
+
+val switches : t -> int -> int list
+(** Entry switches of the current tree, ascending node id. *)
+
+val set_switches : t -> int -> int list -> unit
+
+val dist : t -> int -> int array
+(** BFS distance array from the group's source (shared per source). *)
+
+val members_bitset : t -> int -> Peel_util.Bits.Bitset.t
+(** The live member set itself (mutations write through). *)
+
+val member_list : t -> int -> int list
+(** Members ascending. *)
+
+val add_member : t -> int -> int -> unit
+val remove_member : t -> int -> int -> unit
+
+val set_members : t -> int -> int list -> unit
+(** Replace the member set (test corruption hook). *)
+
+val generation : t -> int -> int
+(** Generation of a slot (live or freed). *)
+
+val slot_live : t -> int -> bool
+
+val valid : t -> slot:int -> gen:int -> bool
+(** [true] iff [slot] is live and still on generation [gen]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Live slots, ascending slot order. *)
+
+val fold : ('a -> int -> 'a) -> t -> 'a -> 'a
+
+val gids_sorted : t -> int list
+(** Live gids ascending — the deterministic iteration order for lints
+    and reports. *)

@@ -8,15 +8,21 @@
     - {!Controller} — install scheduling, stage tracking, departures.
     - {!Refine} — the stage-switching launcher and the
       static/refined/IPMC schemes.
+    - {!Group_table} — the arena-backed SoA store of live group state
+      (member bitsets, slot recycling with generation counters).
     - {!Service} — the long-running open-loop multicast-as-a-service
       controller (delta re-peeling, batched sharded installs,
-      admission/eviction).
+      admission/eviction, peel/plan memoization).
+    - {!Service_ref} — the pre-arena reference implementation kept as
+      the differential oracle for the fast path.
     - {!Check_ctrl} — the CTRL invariant lints.
     - {!Check_service} — the SVC invariant lints for service mode. *)
 
 module Tcam = Tcam
 module Controller = Controller
 module Refine = Refine
+module Group_table = Group_table
 module Service = Service
+module Service_ref = Service_ref
 module Check_ctrl = Check_ctrl
 module Check_service = Check_service

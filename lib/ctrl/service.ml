@@ -2,8 +2,12 @@ open Peel_topology
 open Peel_workload
 module Tree = Peel_steiner.Tree
 module Layer_peel = Peel_steiner.Layer_peel
+module Memo = Peel_steiner.Memo
 module Plan = Peel.Plan
 module Pool = Peel_util.Pool
+module Bitset = Peel_util.Bits.Bitset
+module Trace = Peel_sim.Trace
+module G = Group_table
 
 type admission = Evict | Deny
 
@@ -22,6 +26,9 @@ type config = {
   install_delay : float;
   budget : int option;
   salt : int option;
+  use_cache : bool;
+  cache_capacity : int;
+  gc_space_overhead : int option;
 }
 
 let env_batch () =
@@ -39,25 +46,14 @@ let default_config =
     install_delay = 2e-3;
     budget = Some 1;
     salt = None;
+    use_cache = true;
+    cache_capacity = 65536;
+    gc_space_overhead = None;
   }
 
-type stage = Pending | Installed | Fallback
+type stage = Group_table.stage = Pending | Installed | Fallback
 
-let stage_to_string = function
-  | Pending -> "pending"
-  | Installed -> "installed"
-  | Fallback -> "fallback"
-
-type gstate = {
-  sg_gid : int;
-  sg_source : int;
-  mutable sg_members : int list;
-  mutable sg_tree : Tree.t;
-  mutable sg_switches : int list;
-  mutable sg_stage : stage;
-  mutable sg_replans : int;
-  sg_dist : int array;
-}
+let stage_to_string = Group_table.stage_to_string
 
 type slo = {
   events : int;
@@ -80,6 +76,9 @@ type slo = {
   unicast_link_bytes : float;
   max_backlog : int;
   final_backlog : int;
+  cache_hits : int;
+  cache_misses : int;
+  groups_live : int;
   plan_p50_s : float;
   plan_p99_s : float;
   plan_max_s : float;
@@ -91,7 +90,7 @@ type outcome = {
   o_cfg : config;
   o_fabric : Fabric.t;
   o_tcam : Tcam.t option;
-  o_groups : (int, gstate) Hashtbl.t;
+  o_groups : G.t;
   o_departed : (int, unit) Hashtbl.t;
   o_pending : int list;
   o_slo : slo;
@@ -118,9 +117,38 @@ let digest_string d s =
 
 let digest_hex d = Printf.sprintf "%016Lx" d.h
 
+(* Allocation-free digest helpers: fold exactly the bytes the
+   reference implementation's [Printf.sprintf]-built strings contain,
+   without materializing them — the hot path runs one of these per
+   event, and the fingerprint must stay byte-identical. *)
+let digest_char d c =
+  d.h <- Int64.mul (Int64.logxor d.h (Int64.of_int (Char.code c))) fnv_prime
+
+let rec digest_int d n =
+  if n < 0 then begin
+    (* [%d] renders the sign first; event fields are never negative,
+       but keep the fold total. *)
+    digest_char d '-';
+    digest_pos d (-n)
+  end
+  else digest_pos d n
+
+and digest_pos d n =
+  if n >= 10 then digest_pos d (n / 10);
+  digest_char d (Char.chr (Char.code '0' + (n mod 10)))
+
 (* ------------------------------------------------------------------ *)
 (* The service loop                                                   *)
 (* ------------------------------------------------------------------ *)
+
+(* Planning-memo key: (source, member set).  Lookups borrow the live
+   bitset; insertions freeze a copy so later membership deltas cannot
+   mutate a cached key. *)
+type memo_key = int * Bitset.t
+
+let memo_hash ((s, bs) : memo_key) = ((Bitset.hash bs * 31) + s) land max_int
+let memo_equal ((s, a) : memo_key) ((s', b) : memo_key) = s = s' && Bitset.equal a b
+let freeze_key ((s, bs) : memo_key) : memo_key = (s, Bitset.copy bs)
 
 type state = {
   cfg : config;
@@ -128,10 +156,26 @@ type state = {
   graph : Graph.t;
   tcam : Tcam.t option;
   pool : Pool.t;
-  groups : (int, gstate) Hashtbl.t;
+  groups : G.t;
   departed : (int, unit) Hashtbl.t;
   digest : digest;
-  mutable pending : int list;  (* reverse enqueue order *)
+  (* planning caches; [dists] is exact per-source data and always on,
+     the tree/plan memos honour [cfg.use_cache] *)
+  dists : (int, int array) Hashtbl.t;
+  trees : (memo_key, Tree.t * int list) Memo.t;
+  plans : (memo_key, Plan.t) Memo.t;
+  (* Theorem 2.5 envelope data per (source, member set): the symmetric
+     lower bound and the farthest BFS layer.  Both are pure in the
+     fabric's link state, which the service never mutates, so a hit is
+     exactly the value a fresh computation would produce. *)
+  bounds : (memo_key, int option * int option) Memo.t;
+  (* pending-install queue: an append-only gid buffer.  Departure just
+     tombstones (clears the group's in_pending flag, O(1)); the queue
+     compacts when tombstones dominate and drains wholesale at flush. *)
+  mutable pq : int array;
+  mutable pq_len : int;
+  mutable pq_tomb : int;
+  mutable pending_live : int;
   mutable pending_since : float;
   (* counters *)
   mutable creates : int;
@@ -150,31 +194,177 @@ type state = {
   mutable multicast_link_bytes : float;
   mutable unicast_link_bytes : float;
   mutable max_backlog : int;
-  mutable plan_lat : float list;
+  mutable plan_lat : float array;
+  mutable plan_n : int;
 }
 
 let entry_switches g tree =
   Peel_steiner.Tree.switch_members g tree
   |> List.filter (fun v -> (Graph.node g v).Graph.kind <> Graph.Tor)
 
-let dests_of gs = List.filter (fun m -> m <> gs.sg_source) gs.sg_members
+let dests_of st slot =
+  let source = G.source st.groups slot in
+  List.filter (fun m -> m <> source) (G.member_list st.groups slot)
 
-let log_event st ~(ev : Stream.event) tag =
-  digest_string st.digest
-    (Printf.sprintf "%d:%s:%s;" ev.Stream.ev_seq
-       (Stream.kind_to_string ev.Stream.ev_kind)
-       tag)
+(* Fold [Stream.kind_to_string ev.ev_kind] without the sprintf. *)
+let digest_kind d (k : Stream.kind) =
+  match k with
+  | Stream.Create g ->
+      digest_string d "create[g";
+      digest_int d g.Spec.g_id;
+      digest_char d ']'
+  | Stream.Join { gid; endpoint } ->
+      digest_string d "join[g";
+      digest_int d gid;
+      digest_char d '+';
+      digest_int d endpoint;
+      digest_char d ']'
+  | Stream.Leave { gid; endpoint } ->
+      digest_string d "leave[g";
+      digest_int d gid;
+      digest_char d '-';
+      digest_int d endpoint;
+      digest_char d ']'
+  | Stream.Send { gid; _ } ->
+      digest_string d "send[g";
+      digest_int d gid;
+      digest_char d ']'
+  | Stream.Depart { gid } ->
+      digest_string d "depart[g";
+      digest_int d gid;
+      digest_char d ']'
+
+(* Byte-for-byte the reference fold of
+   [sprintf "%d:%s:%s;" ev_seq (kind_to_string ev_kind) tag]. *)
+let log_tagged st ~(ev : Stream.event) f =
+  let d = st.digest in
+  digest_int d ev.Stream.ev_seq;
+  digest_char d ':';
+  digest_kind d ev.Stream.ev_kind;
+  digest_char d ':';
+  f d;
+  digest_char d ';'
+
+let log_event st ~ev tag = log_tagged st ~ev (fun d -> digest_string d tag)
+
+let lat_push st v =
+  if st.plan_n = Array.length st.plan_lat then begin
+    let a = Array.make (max 64 (2 * st.plan_n)) 0.0 in
+    Array.blit st.plan_lat 0 a 0 st.plan_n;
+    st.plan_lat <- a
+  end;
+  st.plan_lat.(st.plan_n) <- v;
+  st.plan_n <- st.plan_n + 1
 
 let timed st f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  st.plan_lat <- (Unix.gettimeofday () -. t0) :: st.plan_lat;
+  lat_push st (Unix.gettimeofday () -. t0);
   r
 
-let enqueue_install st ~now gid =
-  if st.cfg.capacity > 0 then begin
-    if st.pending = [] then st.pending_since <- now;
-    if not (List.mem gid st.pending) then st.pending <- gid :: st.pending
+let dist_of st source =
+  match Hashtbl.find_opt st.dists source with
+  | Some d -> d
+  | None ->
+      let d = Graph.bfs_dist st.graph source in
+      Hashtbl.add st.dists source d;
+      d
+
+(* Memoized full peel: a hit returns the identical immutable tree a
+   fresh build would produce (same graph, salt, source, dests), so
+   cache-on and cache-off runs keep byte-identical decision logs.  The
+   entry-switch set rides along — it is a pure function of the tree,
+   and the create path consumes both. *)
+let build_tree st ~source ~members_bs ~dests ~err =
+  let build () =
+    match Layer_peel.build ?salt:st.cfg.salt st.graph ~source ~dests with
+    | Some t -> (t, entry_switches st.graph t)
+    | None -> failwith err
+  in
+  if st.cfg.use_cache then begin
+    let k = (source, members_bs) in
+    match Memo.find st.trees k with
+    | Some ts -> ts
+    | None ->
+        let ts = build () in
+        Memo.add st.trees (freeze_key k) ts;
+        ts
+  end
+  else build ()
+
+(* Farthest BFS layer over the cached per-source distance array: the
+   service never fails links, so the array [dist_of] computed at group
+   creation is the BFS a fresh [Layer_peel.farthest_layer] would run —
+   this just skips the BFS. *)
+let farthest st ~source ~dests =
+  let dist = dist_of st source in
+  let rec go far = function
+    | [] -> Some far
+    | d :: rest ->
+        if dist.(d) = Graph.unreachable then None else go (max far dist.(d)) rest
+  in
+  go 0 dests
+
+(* The Theorem 2.5 envelope data, memoized by (source, member set).
+   [symmetric_lower_bound] restores down links before costing, so both
+   components are pure in (source, dests) for the service's static
+   fabric and a memo hit equals recomputing (the SVC005 contract). *)
+let bound_info st ~source ~members_bs ~dests =
+  let compute () =
+    let opt =
+      Peel_check.Check_tree.symmetric_lower_bound st.fabric ~source ~dests
+    in
+    (opt, farthest st ~source ~dests)
+  in
+  if st.cfg.use_cache then begin
+    let k = (source, members_bs) in
+    match Memo.find st.bounds k with
+    | Some info -> info
+    | None ->
+        let info = compute () in
+        Memo.add st.bounds (freeze_key k) info;
+        info
+  end
+  else compute ()
+
+(* ---------------- pending queue ---------------- *)
+
+let pq_compact st =
+  (* Keep only gids still pending (departed tombstones drop), in order. *)
+  let w = ref 0 in
+  for r = 0 to st.pq_len - 1 do
+    let gid = st.pq.(r) in
+    let keep =
+      match G.find st.groups ~gid with
+      | Some slot -> G.in_pending st.groups slot
+      | None -> false
+    in
+    if keep then begin
+      st.pq.(!w) <- gid;
+      incr w
+    end
+  done;
+  st.pq_len <- !w;
+  st.pq_tomb <- 0
+
+let pq_push st gid =
+  if st.pq_len = Array.length st.pq then begin
+    if st.pq_len >= 64 && st.pq_tomb >= st.pq_len / 2 then pq_compact st
+    else begin
+      let a = Array.make (max 64 (2 * st.pq_len)) 0 in
+      Array.blit st.pq 0 a 0 st.pq_len;
+      st.pq <- a
+    end
+  end;
+  st.pq.(st.pq_len) <- gid;
+  st.pq_len <- st.pq_len + 1
+
+let enqueue_install st ~now slot gid =
+  if st.cfg.capacity > 0 && not (G.in_pending st.groups slot) then begin
+    if st.pending_live = 0 then st.pending_since <- now;
+    G.set_in_pending st.groups slot true;
+    pq_push st gid;
+    st.pending_live <- st.pending_live + 1
   end
 
 (* Evict a group everywhere: its partial entry set cannot replicate
@@ -183,119 +373,170 @@ let demote st victim =
   (match st.tcam with
   | Some tc -> ignore (Tcam.remove_group tc ~group:victim)
   | None -> ());
-  match Hashtbl.find_opt st.groups victim with
-  | Some vs -> vs.sg_stage <- Fallback
+  match G.find st.groups ~gid:victim with
+  | Some slot -> G.set_stage st.groups slot Fallback
   | None -> ()
 
 (* Flush the pending batch: lower every live pending group's prefix
-   plan through the fleet compiler — sharded across pool domains by
-   the group's source pod — then claim TCAM space for the exact
-   per-group entries under the admission policy. *)
+   plan through the fleet compiler — memo hits skip Plan.build, misses
+   build in parallel across pool domains — then claim TCAM space for
+   the exact per-group entries under the admission policy.  When the
+   whole batch provably fits ([Tcam.batch_fits]), installs commute and
+   go shard-parallel; otherwise the exact sequential admission loop of
+   the reference implementation runs (evictions at one switch feed
+   back into later decisions, so order is semantics there). *)
 let flush st ~now =
-  let batch = List.rev st.pending in
-  st.pending <- [];
-  let backlog = List.length batch in
+  let backlog = st.pending_live in
   if backlog > st.max_backlog then st.max_backlog <- backlog;
   let live =
-    List.filter_map
-      (fun gid ->
-        match Hashtbl.find_opt st.groups gid with
-        | Some gs -> Some (gid, gs)
-        | None -> None)
-      batch
+    let acc = ref [] in
+    for r = st.pq_len - 1 downto 0 do
+      let gid = st.pq.(r) in
+      match G.find st.groups ~gid with
+      | Some slot when G.in_pending st.groups slot ->
+          G.set_in_pending st.groups slot false;
+          acc := (gid, slot) :: !acc
+      | _ -> ()
+    done;
+    !acc
   in
+  st.pq_len <- 0;
+  st.pq_tomb <- 0;
+  st.pending_live <- 0;
   if live <> [] then begin
     st.batches <- st.batches + 1;
+    (* Prefix plans, memoized by (source, member set). *)
+    let lookup =
+      List.map
+        (fun (gid, slot) ->
+          let k = (G.source st.groups slot, G.members_bitset st.groups slot) in
+          let cached = if st.cfg.use_cache then Memo.find st.plans k else None in
+          (gid, slot, k, cached))
+        live
+    in
+    let misses = List.filter (fun (_, _, _, p) -> Option.is_none p) lookup in
+    let built =
+      Pool.par_map ~pool:st.pool
+        (fun (_gid, slot, _k, _) ->
+          Plan.build ?budget:st.cfg.budget st.fabric
+            ~source:(G.source st.groups slot) ~dests:(dests_of st slot))
+        misses
+    in
+    if st.cfg.use_cache then
+      List.iter2
+        (fun (_, _, k, _) p -> Memo.add st.plans (freeze_key k) p)
+        misses built;
+    let plans =
+      let remaining = ref built in
+      List.map
+        (fun (gid, slot, _k, cached) ->
+          match cached with
+          | Some p -> (gid, slot, p)
+          | None -> (
+              match !remaining with
+              | p :: rest ->
+                  remaining := rest;
+                  (gid, slot, p)
+              | [] -> assert false))
+        lookup
+    in
     (* Shard by source pod; shards compile independently (pure), so
        the pool fan-out is bit-deterministic at any worker count. *)
-    let shard_of (_, gs) =
-      Fabric.pod_of_tor st.fabric (Fabric.attach_tor st.fabric gs.sg_source)
+    let shard_of (_, slot, _) =
+      Fabric.pod_of_tor st.fabric
+        (Fabric.attach_tor st.fabric (G.source st.groups slot))
     in
     let shards =
-      List.sort_uniq compare (List.map shard_of live)
-      |> List.map (fun pod -> (pod, List.filter (fun c -> shard_of c = pod) live))
+      List.sort_uniq compare (List.map shard_of plans)
+      |> List.map (fun pod ->
+             (pod, List.filter (fun c -> shard_of c = pod) plans))
     in
     let compiled =
       Pool.par_map ~pool:st.pool
         (fun (_pod, cells) ->
-          let pairs =
-            List.map
-              (fun (gid, gs) ->
-                ( gid,
-                  Plan.build ?budget:st.cfg.budget st.fabric
-                    ~source:gs.sg_source ~dests:(dests_of gs) ))
-              cells
-          in
-          Peel_compile.compile st.fabric pairs)
+          Peel_compile.count_entries st.fabric
+            (List.map (fun (gid, _, p) -> (gid, p)) cells))
         shards
     in
-    List.iter
-      (fun c -> st.compiled_entries <- st.compiled_entries + Peel_compile.Compile.total_entries c)
-      compiled;
+    List.iter (fun n -> st.compiled_entries <- st.compiled_entries + n) compiled;
     (* Admission, in batch order. *)
     match st.tcam with
     | None -> ()
     | Some tc ->
-        List.iter
-          (fun (gid, gs) ->
-            match st.cfg.admission with
-            | Evict ->
-                List.iter
-                  (fun sw ->
-                    let victims = Tcam.install tc ~now ~switch:sw ~group:gid in
-                    List.iter (demote st) victims)
-                  gs.sg_switches;
-                gs.sg_stage <- Installed
-            | Deny ->
-                (* All-or-nothing: probe every switch first so a denied
-                   group never leaves partial entries behind. *)
-                let fits =
-                  List.for_all
-                    (fun sw ->
-                      Tcam.holds tc ~switch:sw ~group:gid
-                      || Tcam.used tc ~switch:sw < Tcam.capacity tc)
-                    gs.sg_switches
-                in
-                if fits then begin
+        let items =
+          List.concat_map
+            (fun (gid, slot) ->
+              List.map (fun sw -> (sw, gid)) (G.switches st.groups slot))
+            live
+        in
+        if Tcam.batch_fits tc ~items then begin
+          (* No switch can overflow: zero evictions, zero denials, so
+             both admission policies reduce to plain installs and the
+             batch commutes — apply it shard-parallel. *)
+          Tcam.install_batch ~pool:st.pool tc ~now ~items;
+          List.iter (fun (_gid, slot) -> G.set_stage st.groups slot Installed) live
+        end
+        else
+          List.iter
+            (fun (gid, slot) ->
+              match st.cfg.admission with
+              | Evict ->
                   List.iter
                     (fun sw ->
-                      ignore (Tcam.install_strict tc ~now ~switch:sw ~group:gid))
-                    gs.sg_switches;
-                  gs.sg_stage <- Installed
-                end
-                else begin
-                  (* The group may still hold entries from a previous
-                     install (membership deltas only free removed
-                     switches); reclaim them all so a denied group
-                     never keeps a partial entry set (SVC003). *)
-                  demote st gid;
-                  st.denials <- st.denials + 1
-                end)
-          live
+                      let victims = Tcam.install tc ~now ~switch:sw ~group:gid in
+                      List.iter (demote st) victims)
+                    (G.switches st.groups slot);
+                  G.set_stage st.groups slot Installed
+              | Deny ->
+                  (* All-or-nothing: probe every switch first so a denied
+                     group never leaves partial entries behind. *)
+                  let fits =
+                    List.for_all
+                      (fun sw ->
+                        Tcam.holds tc ~switch:sw ~group:gid
+                        || Tcam.used tc ~switch:sw < Tcam.capacity tc)
+                      (G.switches st.groups slot)
+                  in
+                  if fits then begin
+                    List.iter
+                      (fun sw ->
+                        ignore (Tcam.install_strict tc ~now ~switch:sw ~group:gid))
+                      (G.switches st.groups slot);
+                    G.set_stage st.groups slot Installed
+                  end
+                  else begin
+                    (* The group may still hold entries from a previous
+                       install (membership deltas only free removed
+                       switches); reclaim them all so a denied group
+                       never keeps a partial entry set (SVC003). *)
+                    demote st gid;
+                    st.denials <- st.denials + 1
+                  end)
+            live
   end
 
 let maybe_flush st ~now =
   if
-    st.pending <> []
-    && (List.length st.pending >= st.cfg.batch
+    st.pending_live > 0
+    && (st.pending_live >= st.cfg.batch
        || now -. st.pending_since >= st.cfg.install_delay)
   then flush st ~now
 
 (* Re-plan a group after a membership delta: splice the subscriber's
    subtree in/out, falling back to a full peel when the splice fails,
    breaks tree validity, or leaves the Theorem 2.5 cost envelope. *)
-let replan st gs ~delta =
-  let source = gs.sg_source in
-  let dests = dests_of gs in
+let replan st slot ~delta =
+  let source = G.source st.groups slot in
+  let dests = dests_of st slot in
   let full () =
     st.full_repeels <- st.full_repeels + 1;
-    match Layer_peel.build ?salt:st.cfg.salt st.graph ~source ~dests with
-    | Some t -> t
-    | None -> failwith "Service.replan: destinations unreachable"
+    fst
+      (build_tree st ~source ~members_bs:(G.members_bitset st.groups slot)
+         ~dests ~err:"Service.replan: destinations unreachable")
   in
   let spliced =
-    Layer_peel.splice ?salt:st.cfg.salt ~dist:gs.sg_dist st.graph
-      ~prev:gs.sg_tree ~source ~dests ~delta
+    Layer_peel.splice ?salt:st.cfg.salt ~dist:(G.dist st.groups slot) st.graph
+      ~prev:(G.tree st.groups slot) ~source ~dests ~delta
   in
   let tree =
     match spliced with
@@ -306,11 +547,13 @@ let replan st gs ~delta =
         let ok_shape = Result.is_ok (Tree.validate st.graph t ~dests) in
         let ok_bound =
           match
-            Peel_check.Check_tree.symmetric_lower_bound st.fabric ~source ~dests
+            bound_info st ~source
+              ~members_bs:(G.members_bitset st.groups slot)
+              ~dests
           with
-          | None -> true
-          | Some opt -> (
-              match Layer_peel.farthest_layer st.graph ~source ~dests with
+          | None, _ -> true
+          | Some opt, far -> (
+              match far with
               | None -> false
               | Some f ->
                   let factor = max 1 (min f (List.length dests)) in
@@ -325,34 +568,36 @@ let replan st gs ~delta =
           full ()
         end)
   in
-  gs.sg_tree <- tree;
-  gs.sg_replans <- gs.sg_replans + 1;
+  G.set_tree st.groups slot tree;
+  G.bump_replans st.groups slot;
   tree
 
 (* A membership delta on an installed group updates its entry set:
    switches the new tree no longer visits free their entries at once,
    new switches go through the batched install path (the group rides
    the fallback until they land). *)
-let update_entries st ~now gs =
-  let switches = entry_switches st.graph gs.sg_tree in
-  let removed = List.filter (fun s -> not (List.mem s switches)) gs.sg_switches in
-  let added = List.filter (fun s -> not (List.mem s gs.sg_switches)) switches in
-  gs.sg_switches <- switches;
+let update_entries st ~now slot =
+  let gid = G.gid st.groups slot in
+  let prev = G.switches st.groups slot in
+  let switches = entry_switches st.graph (G.tree st.groups slot) in
+  let removed = List.filter (fun s -> not (List.mem s switches)) prev in
+  let added = List.filter (fun s -> not (List.mem s prev)) switches in
+  G.set_switches st.groups slot switches;
   (match st.tcam with
   | Some tc ->
       List.iter
-        (fun sw -> ignore (Tcam.remove_at tc ~switch:sw ~group:gs.sg_gid))
+        (fun sw -> ignore (Tcam.remove_at tc ~switch:sw ~group:gid))
         removed
   | None -> ());
-  if gs.sg_stage = Installed && added <> [] then begin
-    gs.sg_stage <- Pending;
-    enqueue_install st ~now gs.sg_gid
-  end
-  else if gs.sg_stage = Fallback then begin
-    (* A membership change is a fresh admission request. *)
-    gs.sg_stage <- Pending;
-    enqueue_install st ~now gs.sg_gid
-  end
+  match G.stage st.groups slot with
+  | Installed when added <> [] ->
+      G.set_stage st.groups slot Pending;
+      enqueue_install st ~now slot gid
+  | Fallback ->
+      (* A membership change is a fresh admission request. *)
+      G.set_stage st.groups slot Pending;
+      enqueue_install st ~now slot gid
+  | _ -> ()
 
 let handle st (ev : Stream.event) =
   let now = ev.Stream.ev_time in
@@ -362,94 +607,95 @@ let handle st (ev : Stream.event) =
       let gid = group.Spec.g_id in
       let source = group.Spec.g_source in
       let dests = group.Spec.g_dests in
-      let dist = Graph.bfs_dist st.graph source in
-      let tree =
+      let members = group.Spec.g_members in
+      let dist = dist_of st source in
+      let members_bs = Bitset.of_list ~width:(G.width st.groups) members in
+      let tree, switches =
         timed st (fun () ->
-            match Layer_peel.build ?salt:st.cfg.salt st.graph ~source ~dests with
-            | Some t -> t
-            | None -> failwith "Service: group unreachable at creation")
+            build_tree st ~source ~members_bs ~dests
+              ~err:"Service: group unreachable at creation")
       in
       st.full_repeels <- st.full_repeels + 1;
-      let gs =
-        {
-          sg_gid = gid;
-          sg_source = source;
-          sg_members = group.Spec.g_members;
-          sg_tree = tree;
-          sg_switches = entry_switches st.graph tree;
-          sg_stage = (if st.cfg.capacity > 0 then Pending else Fallback);
-          sg_replans = 0;
-          sg_dist = dist;
-        }
+      let slot =
+        G.add st.groups ~gid ~source ~members ~tree ~switches ~dist
+          ~stage:(if st.cfg.capacity > 0 then Pending else Fallback)
       in
-      Hashtbl.replace st.groups gid gs;
-      enqueue_install st ~now gid;
-      log_event st ~ev (Printf.sprintf "c%d" (List.length gs.sg_switches))
+      enqueue_install st ~now slot gid;
+      log_tagged st ~ev (fun d ->
+          digest_char d 'c';
+          digest_int d (List.length switches))
   | Stream.Join { gid; endpoint } -> (
       st.joins <- st.joins + 1;
-      match Hashtbl.find_opt st.groups gid with
+      match G.find st.groups ~gid with
       | None -> log_event st ~ev "?"
-      | Some gs ->
-          gs.sg_members <- List.sort compare (endpoint :: gs.sg_members);
+      | Some slot ->
+          G.add_member st.groups slot endpoint;
           let deltas_before = st.delta_repeels in
           ignore
-            (timed st (fun () ->
-                 replan st gs ~delta:(Layer_peel.Add endpoint)));
-          update_entries st ~now gs;
+            (timed st (fun () -> replan st slot ~delta:(Layer_peel.Add endpoint)));
+          update_entries st ~now slot;
           log_event st ~ev
             (if st.delta_repeels > deltas_before then "d" else "f"))
   | Stream.Leave { gid; endpoint } -> (
       st.leaves <- st.leaves + 1;
-      match Hashtbl.find_opt st.groups gid with
+      match G.find st.groups ~gid with
       | None -> log_event st ~ev "?"
-      | Some gs ->
-          gs.sg_members <- List.filter (fun m -> m <> endpoint) gs.sg_members;
+      | Some slot ->
+          G.remove_member st.groups slot endpoint;
           let deltas_before = st.delta_repeels in
           ignore
             (timed st (fun () ->
-                 replan st gs ~delta:(Layer_peel.Remove endpoint)));
-          update_entries st ~now gs;
+                 replan st slot ~delta:(Layer_peel.Remove endpoint)));
+          update_entries st ~now slot;
           log_event st ~ev
             (if st.delta_repeels > deltas_before then "d" else "f"))
   | Stream.Send { gid; bytes } -> (
       st.sends <- st.sends + 1;
-      match Hashtbl.find_opt st.groups gid with
+      match G.find st.groups ~gid with
       | None -> log_event st ~ev "?"
-      | Some gs -> (
-          match gs.sg_stage with
+      | Some slot -> (
+          match G.stage st.groups slot with
           | Installed ->
               st.multicast_chunks <- st.multicast_chunks + 1;
               st.multicast_link_bytes <-
                 st.multicast_link_bytes
-                +. (bytes *. float_of_int (Tree.cost gs.sg_tree));
+                +. (bytes *. float_of_int (Tree.cost (G.tree st.groups slot)));
               (match st.tcam with
               | Some tc ->
                   List.iter
                     (fun sw -> Tcam.touch tc ~now ~switch:sw ~group:gid ~bytes)
-                    gs.sg_switches
+                    (G.switches st.groups slot)
               | None -> ());
               log_event st ~ev "m"
           | Pending | Fallback ->
               (* Unicast fallback: one copy per destination, each
                  riding its whole shortest path. *)
-              let hops =
-                List.fold_left
-                  (fun acc d -> acc + gs.sg_dist.(d))
-                  0 (dests_of gs)
-              in
+              let source = G.source st.groups slot in
+              let dist = G.dist st.groups slot in
+              let hops = ref 0 in
+              Bitset.iter
+                (fun m -> if m <> source then hops := !hops + dist.(m))
+                (G.members_bitset st.groups slot);
               st.unicast_chunks <- st.unicast_chunks + 1;
               st.unicast_link_bytes <-
-                st.unicast_link_bytes +. (bytes *. float_of_int hops);
+                st.unicast_link_bytes +. (bytes *. float_of_int !hops);
               log_event st ~ev "u"))
   | Stream.Depart { gid } ->
       st.departs <- st.departs + 1;
       (match st.tcam with
       | Some tc -> ignore (Tcam.remove_group tc ~group:gid)
       | None -> ());
-      Hashtbl.remove st.groups gid;
+      (match G.find st.groups ~gid with
+      | Some slot ->
+          (* A departed group's pending install must never land
+             (SVC004): tombstone its queue entry in O(1). *)
+          if G.in_pending st.groups slot then begin
+            st.pending_live <- st.pending_live - 1;
+            st.pq_tomb <- st.pq_tomb + 1
+          end;
+          ignore (G.remove st.groups ~gid)
+      | None -> ());
       Hashtbl.replace st.departed gid ();
-      (* A departed group's pending install must never land (SVC004). *)
-      st.pending <- List.filter (fun g -> g <> gid) st.pending;
       log_event st ~ev "x");
   maybe_flush st ~now
 
@@ -458,25 +704,43 @@ let percentile sorted p =
   | 0 -> 0.0
   | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
 
-let run ?(cfg = default_config) ?jobs fabric ~events stream =
-  if cfg.batch < 1 then invalid_arg "Service.run: batch must be >= 1";
-  if cfg.install_delay < 0.0 || not (Float.is_finite cfg.install_delay) then
-    invalid_arg "Service.run: install_delay must be finite and >= 0";
+(* Shard switches for the TCAM: by pod where the fabric has pods, by
+   the node's index within its kind otherwise (leaf-spine spines and
+   zoo cores carry pod = -1).  Pure storage partitioning — results are
+   identical to a single shard; it only decides which Pool domain owns
+   which switch during commuting batched installs. *)
+let tcam_shards = 8
+
+let tcam_shard_of graph sw =
+  let nd = Graph.node graph sw in
+  (if nd.Graph.pod >= 0 then nd.Graph.pod else nd.Graph.idx) mod tcam_shards
+
+let run_body cfg jobs trace fabric ~events stream =
   let pool = Pool.create ?jobs () in
+  let graph = Fabric.graph fabric in
   let st =
     {
       cfg;
       fabric;
-      graph = Fabric.graph fabric;
+      graph;
       tcam =
         (if cfg.capacity > 0 then
-           Some (Tcam.create ~capacity:cfg.capacity ~policy:cfg.policy)
+           Some
+             (Tcam.create_sharded ~capacity:cfg.capacity ~policy:cfg.policy
+                ~shards:tcam_shards ~shard_of:(tcam_shard_of graph))
          else None);
       pool;
-      groups = Hashtbl.create 64;
+      groups = G.create ~width:(Graph.num_nodes graph) ();
       departed = Hashtbl.create 64;
       digest = digest_create ();
-      pending = [];
+      dists = Hashtbl.create 64;
+      trees = Memo.create ~capacity:cfg.cache_capacity ~hash:memo_hash ~equal:memo_equal ();
+      plans = Memo.create ~capacity:cfg.cache_capacity ~hash:memo_hash ~equal:memo_equal ();
+      bounds = Memo.create ~capacity:cfg.cache_capacity ~hash:memo_hash ~equal:memo_equal ();
+      pq = Array.make 64 0;
+      pq_len = 0;
+      pq_tomb = 0;
+      pending_live = 0;
       pending_since = 0.0;
       creates = 0;
       joins = 0;
@@ -494,7 +758,8 @@ let run ?(cfg = default_config) ?jobs fabric ~events stream =
       multicast_link_bytes = 0.0;
       unicast_link_bytes = 0.0;
       max_backlog = 0;
-      plan_lat = [];
+      plan_lat = Array.make 1024 0.0;
+      plan_n = 0;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -507,7 +772,7 @@ let run ?(cfg = default_config) ?jobs fabric ~events stream =
   (* Drain the backlog so the final state is quiescent; what remains
      in [o_pending] is the backlog depth at the moment the stream
      stopped. *)
-  let final_backlog = List.length st.pending in
+  let final_backlog = st.pending_live in
   if final_backlog > 0 then flush st ~now:!last_now;
   let wall = Unix.gettimeofday () -. t0 in
   let installs, evictions =
@@ -521,8 +786,13 @@ let run ?(cfg = default_config) ?jobs fabric ~events stream =
     (Printf.sprintf "|i%d;e%d;d%d;b%d;ce%d;mc%d;uc%d;mb%.17g;ub%.17g" installs
        evictions st.denials st.batches st.compiled_entries st.multicast_chunks
        st.unicast_chunks st.multicast_link_bytes st.unicast_link_bytes);
-  let lat = Array.of_list st.plan_lat in
+  let lat = Array.sub st.plan_lat 0 st.plan_n in
   Array.sort compare lat;
+  let cache_hits = Memo.hits st.trees + Memo.hits st.plans + Memo.hits st.bounds in
+  let cache_misses =
+    Memo.misses st.trees + Memo.misses st.plans + Memo.misses st.bounds
+  in
+  Trace.plan_cache trace ~hits:cache_hits ~misses:cache_misses;
   let slo =
     {
       events;
@@ -545,6 +815,9 @@ let run ?(cfg = default_config) ?jobs fabric ~events stream =
       unicast_link_bytes = st.unicast_link_bytes;
       max_backlog = st.max_backlog;
       final_backlog;
+      cache_hits;
+      cache_misses;
+      groups_live = G.live st.groups;
       plan_p50_s = percentile lat 0.50;
       plan_p99_s = percentile lat 0.99;
       plan_max_s = (if Array.length lat = 0 then 0.0 else lat.(Array.length lat - 1));
@@ -553,16 +826,46 @@ let run ?(cfg = default_config) ?jobs fabric ~events stream =
       wall_s = wall;
     }
   in
-  let out =
-    {
-      o_cfg = cfg;
-      o_fabric = fabric;
-      o_tcam = st.tcam;
-      o_groups = st.groups;
-      o_departed = st.departed;
-      o_pending = List.rev st.pending;
-      o_slo = slo;
-      o_fingerprint = digest_hex st.digest;
-    }
+  let pending_gids =
+    let acc = ref [] in
+    for r = st.pq_len - 1 downto 0 do
+      let gid = st.pq.(r) in
+      match G.find st.groups ~gid with
+      | Some slot when G.in_pending st.groups slot -> acc := gid :: !acc
+      | _ -> ()
+    done;
+    !acc
   in
-  out
+  {
+    o_cfg = cfg;
+    o_fabric = fabric;
+    o_tcam = st.tcam;
+    o_groups = st.groups;
+    o_departed = st.departed;
+    o_pending = pending_gids;
+    o_slo = slo;
+    o_fingerprint = digest_hex st.digest;
+  }
+
+let run ?(cfg = default_config) ?jobs ?(trace = Trace.null) fabric ~events
+    stream =
+  if cfg.batch < 1 then invalid_arg "Service.run: batch must be >= 1";
+  if cfg.install_delay < 0.0 || not (Float.is_finite cfg.install_delay) then
+    invalid_arg "Service.run: install_delay must be finite and >= 0";
+  if cfg.cache_capacity < 1 then
+    invalid_arg "Service.run: cache_capacity must be >= 1";
+  match cfg.gc_space_overhead with
+  | None -> run_body cfg jobs trace fabric ~events stream
+  | Some o ->
+      (* Million-group runs keep a ~100 Mw live heap; the default
+         space_overhead (120) re-marks it constantly for little
+         reclaim.  The knob trades heap slack for major-GC time during
+         the run and never affects decisions (GC timing is invisible
+         to the decision log), so fingerprints are unchanged. *)
+      if o < 1 then invalid_arg "Service.run: gc_space_overhead must be >= 1";
+      let prev = (Gc.get ()).Gc.space_overhead in
+      Gc.set { (Gc.get ()) with Gc.space_overhead = o };
+      Fun.protect
+        ~finally:(fun () ->
+          Gc.set { (Gc.get ()) with Gc.space_overhead = prev })
+        (fun () -> run_body cfg jobs trace fabric ~events stream)

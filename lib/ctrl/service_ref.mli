@@ -1,5 +1,13 @@
-(** Multicast-as-a-service: a long-running open-loop controller
-    (ROADMAP item 2, Elmo's cloud framing).
+(** Reference implementation of the multicast service controller — the
+    PR 8 Hashtbl/list code path, kept verbatim as the differential
+    oracle for {!Service}'s arena/memoization fast path.
+
+    The QCheck battery and E22 replay random streams through both
+    implementations and require bit-identical SVC005 fingerprints; the
+    E22 SLO section also reports the oracle's events/s as the speedup
+    baseline.  Keep this module semantically frozen: fixes that change
+    decision logs belong in {!Service} (and invalidate committed
+    fingerprints deliberately), not here.
 
     Where {!Refine} replays a fixed batch of groups through the packet
     simulator, [Service] consumes an unbounded {!Peel_workload.Stream}
@@ -24,22 +32,10 @@
       fallback path) or denies the newcomer.  Groups whose entries are
       pending or gone ride unicast — one copy per subscriber.
 
-    The million-group fast path (this PR's tentpole): group state lives
-    in an arena-backed SoA {!Group_table} with member bitsets and
-    recycled slots; the TCAM is split into per-pod shards so a batch
-    that provably fits installs with one {!Peel_util.Pool} domain per
-    shard; and full peels / prefix plans are memoized by
-    (source, member set) — identical groups, the common case in the
-    multi-tenant Poisson mix, skip [Layer_peel] and [Plan.build]
-    entirely.  A memo hit returns a value identical to recomputing, so
-    cache-on and cache-off runs produce the same decision log; the
-    differential oracle for all of this is {!Service_ref}, the PR 8
-    implementation kept verbatim.
-
     Determinism: for a fixed config, fabric and event stream the
-    decision log is byte-identical at any pool size and either cache
-    setting; wall-clock SLOs (plan latency percentiles, events/sec)
-    are measured but excluded from the {!outcome} fingerprint. *)
+    decision log is byte-identical at any pool size; wall-clock SLOs
+    (plan latency percentiles, events/sec) are measured but excluded
+    from the {!outcome} fingerprint. *)
 
 open Peel_topology
 open Peel_workload
@@ -65,32 +61,33 @@ type config = {
                              batch is not full, seconds of stream time *)
   budget : int option;   (** prefix budget for the compiled static plans *)
   salt : int option;     (** {!Peel_steiner.Layer_peel.build} tie salt *)
-  use_cache : bool;      (** memoize full peels and prefix plans by
-                             (source, member set); behaviour-neutral,
-                             disable to measure the cold path *)
-  cache_capacity : int;  (** memo entries per cache before insertions
-                             are deterministically skipped (>= 1) *)
-  gc_space_overhead : int option;
-      (** when set, [run] raises [Gc.space_overhead] to this value for
-          the duration of the run (restored on exit).  Million-group
-          runs keep a ~100 Mw live heap that the default overhead
-          re-marks constantly for little reclaim; GC timing never
-          reaches the decision log, so fingerprints are unchanged. *)
 }
 
 val default_config : config
 (** 1024 entries, LRU, [Evict], batch 8 (overridable via the
     [PEEL_SERVE_BATCH] environment variable), 2 ms install delay,
-    budget-1 prefix plans, caching on with 65536 entries per cache,
-    GC untouched. *)
+    budget-1 prefix plans. *)
 
 (** Where a group's traffic rides right now: waiting for its install
     batch ([Pending], unicast), on its exact entries ([Installed],
-    multicast), or displaced/denied ([Fallback], unicast).  The
-    definition lives in {!Group_table}; re-exported for callers. *)
-type stage = Group_table.stage = Pending | Installed | Fallback
+    multicast), or displaced/denied ([Fallback], unicast). *)
+type stage = Pending | Installed | Fallback
 
 val stage_to_string : stage -> string
+
+type gstate = {
+  sg_gid : int;
+  sg_source : int;
+  mutable sg_members : int list;   (** current membership, ascending *)
+  mutable sg_tree : Peel_steiner.Tree.t;  (** current refined tree *)
+  mutable sg_switches : int list;  (** non-ToR switches of [sg_tree] —
+                                       the exact-entry set *)
+  mutable sg_stage : stage;
+  mutable sg_replans : int;        (** membership deltas absorbed *)
+  sg_dist : int array;             (** cached BFS distances from the source *)
+}
+(** Mutable so the SVC corruption tests can seed faults; production
+    code treats it as read-only outside this module. *)
 
 type slo = {
   events : int;            (** stream events processed *)
@@ -100,9 +97,7 @@ type slo = {
   sends : int;
   departs : int;
   delta_repeels : int;     (** membership deltas absorbed by splicing *)
-  full_repeels : int;      (** full peels: creations + splice fallbacks
-                               (memo hits included — a hit is a peel
-                               the service answered from cache) *)
+  full_repeels : int;      (** full peels: creations + splice fallbacks *)
   splice_fallbacks : int;  (** deltas where the splice was rejected *)
   batches : int;           (** compile flushes *)
   installs : int;          (** TCAM entries ever installed *)
@@ -115,10 +110,6 @@ type slo = {
   unicast_link_bytes : float;    (** link bytes of the unicast sends *)
   max_backlog : int;       (** deepest install backlog at any flush *)
   final_backlog : int;     (** backlog depth when the stream stopped *)
-  cache_hits : int;        (** tree + plan + cost-bound memo hits (0 with
-                               caching off) *)
-  cache_misses : int;      (** tree + plan + cost-bound memo misses *)
-  groups_live : int;       (** groups alive when the stream stopped *)
   plan_p50_s : float;      (** median planning latency (wall seconds) *)
   plan_p99_s : float;
   plan_max_s : float;
@@ -134,7 +125,7 @@ type outcome = {
   o_cfg : config;
   o_fabric : Fabric.t;
   o_tcam : Tcam.t option;             (** [None] when [capacity <= 0] *)
-  o_groups : Group_table.t;           (** groups live at stream end *)
+  o_groups : (int, gstate) Hashtbl.t; (** groups live at stream end *)
   o_departed : (int, unit) Hashtbl.t; (** every group that departed *)
   o_pending : int list;               (** final backlog (drained after
                                           measurement; see {!slo}) *)
@@ -144,19 +135,10 @@ type outcome = {
 }
 
 val run :
-  ?cfg:config ->
-  ?jobs:int ->
-  ?trace:Peel_sim.Trace.t ->
-  Fabric.t ->
-  events:int ->
-  Stream.t ->
-  outcome
+  ?cfg:config -> ?jobs:int -> Fabric.t -> events:int -> Stream.t -> outcome
 (** Consume [events] events from the stream and return the quiescent
     state (the backlog is flushed after the final event; its depth at
     stop time is recorded first).  [jobs] sizes the install-compile
     pool (default {!Peel_util.Pool.default_jobs}); the outcome is
-    bit-identical for every value, and for either [use_cache] setting.
-    [trace] (default {!Peel_sim.Trace.null}) receives the planning-
-    cache hit/miss counters.  Raises [Invalid_argument] on a
-    non-positive [batch], negative [install_delay] or non-positive
-    [cache_capacity]. *)
+    bit-identical for every value.  Raises [Invalid_argument] on a
+    non-positive [batch] or negative [install_delay]. *)

@@ -1,3 +1,5 @@
+module Pool = Peel_util.Pool
+
 type policy = Lru | Bytes_weighted
 
 let policy_to_string = function Lru -> "lru" | Bytes_weighted -> "bytes"
@@ -7,134 +9,353 @@ let policy_of_string = function
   | "bytes" | "bytes-weighted" | "bytes_weighted" -> Some Bytes_weighted
   | _ -> None
 
-type entry = { mutable last_used : float; mutable bytes : float }
+type entry = {
+  mutable last_used : float;
+  mutable bytes : float;
+  mutable pos : int; (* index in the owning table's victim heap *)
+}
 
-type t = {
-  capacity : int;
-  policy : policy;
-  tables : (int, (int, entry) Hashtbl.t) Hashtbl.t;
+(* Per-switch table: the entry map plus an indexed binary min-heap over
+   (score, gid) so the eviction victim is O(log n) instead of the old
+   O(capacity) fold.  The heap root is always the fold's answer — the
+   minimum score under the policy, ties to the lowest group id — so
+   victim selection is bit-identical to the scan it replaces and
+   independent of insertion order.  Scores are mirrored in [hscore]
+   (same index as [heap]) so sift comparisons read two flat arrays
+   instead of chasing the entry map twice per comparison. *)
+type table = {
+  entries : (int, entry) Hashtbl.t;
+  mutable heap : int array; (* group ids, heap-ordered *)
+  mutable hscore : float array; (* score of [heap.(i)], kept in lockstep *)
+  mutable hsize : int;
+}
+
+(* A shard owns a disjoint set of switches (tables + counters), so a
+   batched install can hand each shard to its own Pool domain without
+   sharing any mutable state.  The single-shard [create] is the
+   degenerate case. *)
+type shard = {
+  tables : (int, table) Hashtbl.t;
+  (* group -> switches holding its entry, within this shard: makes
+     [remove_group] O(entries of the group) instead of a scan over
+     every switch table in the fleet.  A group touches at most a
+     handful of switches, so a plain list beats a per-group table. *)
+  rev : (int, int list) Hashtbl.t;
   mutable installs : int;
   mutable evictions : int;
   mutable max_used : int;
 }
 
-let create ~capacity ~policy =
-  if capacity < 1 then invalid_arg "Tcam.create: capacity must be >= 1";
+type t = {
+  capacity : int;
+  policy : policy;
+  shards : shard array;
+  shard_of : int -> int;
+}
+
+let new_shard () =
   {
-    capacity;
-    policy;
     tables = Hashtbl.create 16;
+    rev = Hashtbl.create 64;
     installs = 0;
     evictions = 0;
     max_used = 0;
   }
 
+let create_sharded ~capacity ~policy ~shards ~shard_of =
+  if capacity < 1 then invalid_arg "Tcam.create: capacity must be >= 1";
+  if shards < 1 then invalid_arg "Tcam.create_sharded: shards must be >= 1";
+  {
+    capacity;
+    policy;
+    shards = Array.init shards (fun _ -> new_shard ());
+    shard_of;
+  }
+
+let create ~capacity ~policy =
+  create_sharded ~capacity ~policy ~shards:1 ~shard_of:(fun _ -> 0)
+
 let capacity t = t.capacity
 let policy t = t.policy
-let installs t = t.installs
-let evictions t = t.evictions
-let max_used t = t.max_used
+let shards t = Array.length t.shards
 
-let table t switch =
-  match Hashtbl.find_opt t.tables switch with
+let installs t =
+  Array.fold_left (fun acc s -> acc + s.installs) 0 t.shards
+
+let evictions t =
+  Array.fold_left (fun acc s -> acc + s.evictions) 0 t.shards
+
+let max_used t =
+  Array.fold_left (fun acc s -> max acc s.max_used) 0 t.shards
+
+let shard t switch =
+  let i = t.shard_of switch in
+  if i < 0 || i >= Array.length t.shards then
+    invalid_arg "Tcam: shard_of out of range";
+  t.shards.(i)
+
+let table sh switch =
+  match Hashtbl.find_opt sh.tables switch with
   | Some tbl -> tbl
   | None ->
-      let tbl = Hashtbl.create 8 in
-      Hashtbl.add t.tables switch tbl;
+      let tbl =
+        {
+          entries = Hashtbl.create 8;
+          heap = Array.make 8 0;
+          hscore = Array.make 8 0.0;
+          hsize = 0;
+        }
+      in
+      Hashtbl.add sh.tables switch tbl;
       tbl
 
+(* ---------------- victim heap ---------------- *)
+
+let score t (e : entry) =
+  match t.policy with Lru -> e.last_used | Bytes_weighted -> e.bytes
+
+let entry_of tbl g =
+  match Hashtbl.find_opt tbl.entries g with
+  | Some e -> e
+  | None -> assert false (* heap and entry map are kept in sync *)
+
+(* Position-based comparison over the flat (score, gid) mirrors. *)
+let less tbl i j =
+  let sa = tbl.hscore.(i) and sb = tbl.hscore.(j) in
+  sa < sb || (sa = sb && tbl.heap.(i) < tbl.heap.(j))
+
+let hswap tbl i j =
+  let gi = tbl.heap.(i) and gj = tbl.heap.(j) in
+  let si = tbl.hscore.(i) and sj = tbl.hscore.(j) in
+  tbl.heap.(i) <- gj;
+  tbl.heap.(j) <- gi;
+  tbl.hscore.(i) <- sj;
+  tbl.hscore.(j) <- si;
+  (entry_of tbl gi).pos <- j;
+  (entry_of tbl gj).pos <- i
+
+let rec sift_up tbl i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if less tbl i p then begin
+      hswap tbl i p;
+      sift_up tbl p
+    end
+  end
+
+let rec sift_down tbl i =
+  let l = (2 * i) + 1 in
+  if l < tbl.hsize then begin
+    let r = l + 1 in
+    let m = if r < tbl.hsize && less tbl r l then r else l in
+    if less tbl m i then begin
+      hswap tbl i m;
+      sift_down tbl m
+    end
+  end
+
+let heap_push t tbl g =
+  if tbl.hsize = Array.length tbl.heap then begin
+    let n = 2 * Array.length tbl.heap in
+    let heap' = Array.make n 0 and score' = Array.make n 0.0 in
+    Array.blit tbl.heap 0 heap' 0 tbl.hsize;
+    Array.blit tbl.hscore 0 score' 0 tbl.hsize;
+    tbl.heap <- heap';
+    tbl.hscore <- score'
+  end;
+  let e = entry_of tbl g in
+  tbl.heap.(tbl.hsize) <- g;
+  tbl.hscore.(tbl.hsize) <- score t e;
+  e.pos <- tbl.hsize;
+  tbl.hsize <- tbl.hsize + 1;
+  sift_up tbl (tbl.hsize - 1)
+
+(* Remove the entry at heap slot [i] (swap-with-last then restore). *)
+let heap_delete tbl i =
+  tbl.hsize <- tbl.hsize - 1;
+  if i <> tbl.hsize then begin
+    let g = tbl.heap.(tbl.hsize) in
+    tbl.heap.(i) <- g;
+    tbl.hscore.(i) <- tbl.hscore.(tbl.hsize);
+    (entry_of tbl g).pos <- i;
+    sift_down tbl i;
+    sift_up tbl i
+  end
+
+let reposition t tbl e =
+  tbl.hscore.(e.pos) <- score t e;
+  sift_down tbl e.pos;
+  sift_up tbl e.pos
+
+(* ---------------- reverse index ---------------- *)
+
+let rev_add sh ~group ~switch =
+  let sws = Option.value (Hashtbl.find_opt sh.rev group) ~default:[] in
+  if not (List.mem switch sws) then Hashtbl.replace sh.rev group (switch :: sws)
+
+let rev_remove sh ~group ~switch =
+  match Hashtbl.find_opt sh.rev group with
+  | None -> ()
+  | Some sws -> (
+      match List.filter (fun sw -> sw <> switch) sws with
+      | [] -> Hashtbl.remove sh.rev group
+      | sws' -> Hashtbl.replace sh.rev group sws')
+
+(* ---------------- point operations ---------------- *)
+
 let used t ~switch =
-  match Hashtbl.find_opt t.tables switch with
-  | Some tbl -> Hashtbl.length tbl
+  match Hashtbl.find_opt (shard t switch).tables switch with
+  | Some tbl -> Hashtbl.length tbl.entries
   | None -> 0
 
 let holds t ~switch ~group =
-  match Hashtbl.find_opt t.tables switch with
-  | Some tbl -> Hashtbl.mem tbl group
+  match Hashtbl.find_opt (shard t switch).tables switch with
+  | Some tbl -> Hashtbl.mem tbl.entries group
   | None -> false
 
-(* Deterministic victim: worst score under the policy, ties broken by
-   the lowest group id (hashtable fold order never shows through). *)
-let victim t tbl =
-  Hashtbl.fold
-    (fun g (e : entry) best ->
-      let score =
-        match t.policy with Lru -> e.last_used | Bytes_weighted -> e.bytes
-      in
-      match best with
-      | None -> Some (g, score)
-      | Some (bg, bs) ->
-          if score < bs || (score = bs && g < bg) then Some (g, score) else best)
-    tbl None
+let drop_entry sh tbl ~switch ~group =
+  let e = entry_of tbl group in
+  heap_delete tbl e.pos;
+  Hashtbl.remove tbl.entries group;
+  rev_remove sh ~group ~switch
+
+let add_entry t sh tbl ~now ~switch ~group =
+  let e = { last_used = now; bytes = 0.0; pos = -1 } in
+  Hashtbl.replace tbl.entries group e;
+  heap_push t tbl group;
+  rev_add sh ~group ~switch;
+  sh.installs <- sh.installs + 1;
+  let u = Hashtbl.length tbl.entries in
+  if u > sh.max_used then sh.max_used <- u
 
 let install t ~now ~switch ~group =
-  let tbl = table t switch in
-  if Hashtbl.mem tbl group then []
+  let sh = shard t switch in
+  let tbl = table sh switch in
+  if Hashtbl.mem tbl.entries group then []
   else begin
     let victims = ref [] in
-    while Hashtbl.length tbl >= t.capacity do
-      match victim t tbl with
-      | None -> assert false (* capacity >= 1 and the table is full *)
-      | Some (g, _) ->
-          Hashtbl.remove tbl g;
-          t.evictions <- t.evictions + 1;
-          victims := g :: !victims
+    while Hashtbl.length tbl.entries >= t.capacity do
+      assert (tbl.hsize > 0);
+      let g = tbl.heap.(0) in
+      drop_entry sh tbl ~switch ~group:g;
+      sh.evictions <- sh.evictions + 1;
+      victims := g :: !victims
     done;
-    Hashtbl.replace tbl group { last_used = now; bytes = 0.0 };
-    t.installs <- t.installs + 1;
-    let u = Hashtbl.length tbl in
-    if u > t.max_used then t.max_used <- u;
+    add_entry t sh tbl ~now ~switch ~group;
     List.rev !victims
   end
 
 let install_strict t ~now ~switch ~group =
-  let tbl = table t switch in
-  if Hashtbl.mem tbl group then true
-  else if Hashtbl.length tbl >= t.capacity then false
+  let sh = shard t switch in
+  let tbl = table sh switch in
+  if Hashtbl.mem tbl.entries group then true
+  else if Hashtbl.length tbl.entries >= t.capacity then false
   else begin
-    Hashtbl.replace tbl group { last_used = now; bytes = 0.0 };
-    t.installs <- t.installs + 1;
-    let u = Hashtbl.length tbl in
-    if u > t.max_used then t.max_used <- u;
+    add_entry t sh tbl ~now ~switch ~group;
     true
   end
 
 let touch t ~now ~switch ~group ~bytes =
-  match Hashtbl.find_opt t.tables switch with
+  match Hashtbl.find_opt (shard t switch).tables switch with
   | None -> ()
   | Some tbl -> (
-      match Hashtbl.find_opt tbl group with
+      match Hashtbl.find_opt tbl.entries group with
       | None -> ()
       | Some e ->
           e.last_used <- now;
-          e.bytes <- e.bytes +. bytes)
+          e.bytes <- e.bytes +. bytes;
+          (* the entry's score changed under either policy *)
+          reposition t tbl e)
 
 let remove_at t ~switch ~group =
-  match Hashtbl.find_opt t.tables switch with
+  let sh = shard t switch in
+  match Hashtbl.find_opt sh.tables switch with
   | None -> false
   | Some tbl ->
-      if Hashtbl.mem tbl group then begin
-        Hashtbl.remove tbl group;
+      if Hashtbl.mem tbl.entries group then begin
+        drop_entry sh tbl ~switch ~group;
         true
       end
       else false
 
 let remove_group t ~group =
-  Hashtbl.fold
-    (fun _sw tbl n ->
-      if Hashtbl.mem tbl group then begin
-        Hashtbl.remove tbl group;
-        n + 1
-      end
-      else n)
-    t.tables 0
+  let n = ref 0 in
+  Array.iter
+    (fun sh ->
+      match Hashtbl.find_opt sh.rev group with
+      | None -> ()
+      | Some switches ->
+          List.iter
+            (fun sw ->
+              let tbl = Hashtbl.find sh.tables sw in
+              let e = entry_of tbl group in
+              heap_delete tbl e.pos;
+              Hashtbl.remove tbl.entries group;
+              incr n)
+            switches;
+          Hashtbl.remove sh.rev group)
+    t.shards;
+  !n
 
 let occupancy t =
-  Hashtbl.fold (fun sw tbl l -> (sw, Hashtbl.length tbl) :: l) t.tables []
+  Array.to_list t.shards
+  |> List.concat_map (fun sh ->
+         Hashtbl.fold
+           (fun sw tbl l -> (sw, Hashtbl.length tbl.entries) :: l)
+           sh.tables [])
   |> List.sort compare
 
 let groups_at t ~switch =
-  match Hashtbl.find_opt t.tables switch with
+  match Hashtbl.find_opt (shard t switch).tables switch with
   | None -> []
   | Some tbl ->
-      Hashtbl.fold (fun g _ l -> g :: l) tbl [] |> List.sort compare
+      Hashtbl.fold (fun g _ l -> g :: l) tbl.entries [] |> List.sort compare
+
+(* ---------------- batched installs ---------------- *)
+
+let batch_fits t ~items =
+  (* Count prospective new entries per switch; the batch commutes with
+     itself iff no switch would exceed capacity (then neither [install]
+     nor [install_strict] can evict or deny). *)
+  let adds = Hashtbl.create 64 in
+  List.iter
+    (fun (sw, g) ->
+      if not (holds t ~switch:sw ~group:g) then
+        Hashtbl.replace adds sw
+          (1 + Option.value (Hashtbl.find_opt adds sw) ~default:0))
+    items;
+  Hashtbl.fold
+    (fun sw n ok -> ok && used t ~switch:sw + n <= t.capacity)
+    adds true
+
+let install_batch ?pool t ~now ~items =
+  (* Precondition: [batch_fits t ~items] — every install fits without
+     eviction, so per-switch (hence per-shard) installs are independent
+     and each shard can run on its own Pool domain.  Shard counters are
+     only ever touched by their owner; aggregate reads ([installs],
+     [max_used]) are sums/maxes over shards, so the merged totals are
+     identical to the sequential order. *)
+  let nsh = Array.length t.shards in
+  if nsh = 1 || List.length items < 2 then
+    List.iter (fun (sw, g) -> ignore (install t ~now ~switch:sw ~group:g)) items
+  else begin
+    let per_shard = Array.make nsh [] in
+    (* Keep per-shard item order = batch order (install order within a
+       switch affects nothing here, but determinism is free). *)
+    List.iter
+      (fun (sw, g) ->
+        let i = t.shard_of sw in
+        per_shard.(i) <- (sw, g) :: per_shard.(i))
+      items;
+    let work = ref [] in
+    for i = nsh - 1 downto 0 do
+      if per_shard.(i) <> [] then work := (i, List.rev per_shard.(i)) :: !work
+    done;
+    ignore
+      (Pool.par_map ?pool
+         (fun (_i, its) ->
+           List.iter
+             (fun (sw, g) -> ignore (install t ~now ~switch:sw ~group:g))
+             its)
+         !work)
+  end

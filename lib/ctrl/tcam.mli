@@ -9,9 +9,20 @@
     - [Bytes_weighted]: the entry that has carried the fewest bytes,
 
     with ties broken deterministically by the lowest group id, so a
-    fixed seed replays bit-identically.  The controller (not this
-    module) decides what an eviction means for the victim group —
-    here it is pure table bookkeeping. *)
+    fixed seed replays bit-identically.  Victim selection is an indexed
+    binary min-heap over (score, group id) per switch — O(log n) per
+    eviction instead of a table scan, with the same winner the scan
+    would pick.  The controller (not this module) decides what an
+    eviction means for the victim group — here it is pure table
+    bookkeeping.
+
+    Tables can be split into shards (disjoint switch sets, chosen by a
+    caller-supplied [shard_of]).  Every point operation routes through
+    the owning shard, so single-shard behaviour is unchanged; a batch
+    of installs that provably fits ({!batch_fits}) can be applied with
+    one Pool domain per shard ({!install_batch}), and the aggregate
+    counters merge deterministically (sums, and a max for the
+    high-water mark). *)
 
 (** Eviction-victim selection (see the module header for the rules). *)
 type policy = Lru | Bytes_weighted
@@ -26,7 +37,18 @@ type t
 (** The mutable table state across every switch. *)
 
 val create : capacity:int -> policy:policy -> t
-(** Raises [Invalid_argument] if [capacity < 1]. *)
+(** Single-shard table.  Raises [Invalid_argument] if [capacity < 1]. *)
+
+val create_sharded :
+  capacity:int -> policy:policy -> shards:int -> shard_of:(int -> int) -> t
+(** [create_sharded ~shards ~shard_of] partitions switch ownership:
+    switch [sw] belongs to shard [shard_of sw], which must land in
+    [0, shards).  [shard_of] must be pure — it is consulted on every
+    operation.  Sharding is storage partitioning only; results of every
+    operation are identical to the single-shard table. *)
+
+val shards : t -> int
+(** Number of shards ([1] for {!create}). *)
 
 val capacity : t -> int
 (** The per-switch entry budget. *)
@@ -83,4 +105,19 @@ val evictions : t -> int
 (** Total victims displaced by {!install}. *)
 
 val max_used : t -> int
-(** High-water occupancy across all switches — the CTRL002 witness. *)
+(** High-water occupancy across all switches — the CTRL002 witness.
+    With shards, the max over per-shard high-water marks. *)
+
+val batch_fits : t -> items:(int * int) list -> bool
+(** [batch_fits t ~items] with [(switch, group)] pairs: would installing
+    every item leave each switch within capacity, with no evictions and
+    no strict-install refusals?  When true, the installs commute — the
+    final table state and counters are independent of install order —
+    so {!install_batch} may apply them shard-parallel. *)
+
+val install_batch : ?pool:Peel_util.Pool.t -> t -> now:float -> items:(int * int) list -> unit
+(** Install every [(switch, group)] item, fanning shards out across
+    [pool] domains.  MUST only be called when [batch_fits t ~items]
+    holds (checked by the caller; violating it loses the eviction
+    notifications {!install} would have returned).  Equivalent to
+    [List.iter] of {!install} over [items] in order. *)

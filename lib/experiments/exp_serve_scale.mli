@@ -1,0 +1,47 @@
+(** E22 (ext): the million-group service fast path —
+    {!Peel_ctrl.Service} (arena-backed group store, per-shard TCAM
+    views, (source, member-set) peel/plan/bound memoization) driven
+    past 10^6 concurrent groups by two long-hold Poisson tenants, and
+    raced against the PR 8 reference implementation
+    ({!Peel_ctrl.Service_ref}) on the byte-identical event stream.
+
+    The counter rows — including the jobs=1, jobs=4 and cache-off
+    replay fingerprints — are deterministic for the fixed seed and
+    guarded in BENCH.json; the wall-clock rows (events/sec for both
+    implementations, speedup, peak heap) are reported but unguarded.
+    The reference runs only for the SLO rows, never under the bench
+    guard. *)
+
+type row = {
+  events : int;
+  creates : int;
+  groups_held : int;       (** live groups when the stream stopped *)
+  cache_hits : int;
+  cache_misses : int;
+  installs : int;
+  evictions : int;
+  batches : int;
+  compiled_entries : int;
+  max_backlog : int;
+  fingerprint : string;          (** jobs=1, caches on *)
+  fingerprint_jobs4 : string;    (** must equal [fingerprint] (SVC005) *)
+  fingerprint_nocache : string;  (** must equal [fingerprint] *)
+}
+
+type slo_row = {
+  s_events : int;
+  s_events_per_sec : float;
+  s_wall_s : float;
+  s_peak_heap_mwords : float;  (** [Gc] top-of-heap after the cached run *)
+  s_cache_hit_rate : float;
+  s_ref_events_per_sec : float;
+  s_ref_wall_s : float;
+  s_speedup : float;           (** events/sec over the reference's *)
+  s_ref_fingerprint_matches : bool;
+}
+
+val rows : Common.mode -> row list
+val slo_rows : Common.mode -> slo_row list
+val rows_json : Common.mode -> Peel_util.Json.t
+val slo_json : Common.mode -> Peel_util.Json.t
+val run : Common.mode -> unit

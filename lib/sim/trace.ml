@@ -38,6 +38,8 @@ type counters = {
   mutable rule_installs : int;
   mutable refines : int;
   mutable evictions : int;
+  mutable plan_cache_hits : int;
+  mutable plan_cache_misses : int;
   mutable engine_events : int;
   mutable engine_max_pending : int;
 }
@@ -70,6 +72,8 @@ let zero_counters () =
     rule_installs = 0;
     refines = 0;
     evictions = 0;
+    plan_cache_hits = 0;
+    plan_cache_misses = 0;
     engine_events = 0;
     engine_max_pending = 0;
   }
@@ -204,6 +208,12 @@ let evict t ~time ~group ~switch =
   if t.level <> Off then begin
     t.c.evictions <- t.c.evictions + 1;
     if t.level = Full then push t { time; kind = Evict { group; switch } }
+  end
+
+let plan_cache t ~hits ~misses =
+  if t.level <> Off then begin
+    t.c.plan_cache_hits <- t.c.plan_cache_hits + hits;
+    t.c.plan_cache_misses <- t.c.plan_cache_misses + misses
   end
 
 let note_engine t ~events =
@@ -379,6 +389,8 @@ let counters_to_json t =
       ("rule_installs", Json.int c.rule_installs);
       ("refines", Json.int c.refines);
       ("evictions", Json.int c.evictions);
+      ("plan_cache_hits", Json.int c.plan_cache_hits);
+      ("plan_cache_misses", Json.int c.plan_cache_misses);
       ("engine_events", Json.int c.engine_events);
       ("engine_max_pending", Json.int c.engine_max_pending);
       ("sampled_out", Json.int t.skipped);

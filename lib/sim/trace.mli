@@ -94,6 +94,9 @@ type counters = {
   mutable rule_installs : int;
   mutable refines : int;
   mutable evictions : int;
+  mutable plan_cache_hits : int;
+      (** service planning-cache hits (trees + prefix plans) *)
+  mutable plan_cache_misses : int;
   mutable engine_events : int;
   mutable engine_max_pending : int;
 }
@@ -188,6 +191,10 @@ val refine : t -> time:float -> group:int -> cost:int -> unit
 val evict : t -> time:float -> group:int -> switch:int -> unit
 (** [group] lost its entries to TCAM pressure at [switch] and reverted
     to static prefix rules. *)
+
+val plan_cache : t -> hits:int -> misses:int -> unit
+(** Accumulate service planning-cache hit/miss totals (counters only —
+    no event-log entry). *)
 
 val note_engine : t -> events:int -> unit
 (** Record the engine's processed-event count (monotone max). *)

@@ -17,7 +17,12 @@ let add_edge g acc ~parent ~child =
         acc.seen <- Iset.add child acc.seen
   end
 
-let build fabric ~source ~dests =
+(* Enumerate the symmetric tree's parent bindings without constructing
+   a [Tree.t].  [build] lowers them through [Tree.of_parents]; the cost
+   bound only needs their count — [add_edge] already guarantees one
+   binding per child over a real parent->child link, which is all
+   [Tree.cost] would measure. *)
+let bindings fabric ~source ~dests =
   let g = Fabric.graph fabric in
   let dests = List.sort_uniq compare (List.filter (fun d -> d <> source) dests) in
   let acc = { bindings = []; seen = Iset.add source Iset.empty } in
@@ -99,7 +104,11 @@ let build fabric ~source ~dests =
     (fun tor eps ->
       List.iter (fun e -> add_edge g acc ~parent:tor ~child:e) (List.sort compare eps))
     by_tor;
-  Tree.of_parents g ~root:source ~parents:acc.bindings
+  acc.bindings
+
+let build fabric ~source ~dests =
+  Tree.of_parents (Fabric.graph fabric) ~root:source
+    ~parents:(bindings fabric ~source ~dests)
 
 let cost_lower_bound fabric ~source ~dests =
-  Tree.cost (build fabric ~source ~dests)
+  List.length (bindings fabric ~source ~dests)

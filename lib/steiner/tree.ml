@@ -23,20 +23,24 @@ let of_parents g ~root ~parents =
         Imap.add node (parent, lid) acc)
       Imap.empty parents
   in
-  (* Every parent chain must reach the root without cycling. *)
+  (* Every parent chain must reach the root without cycling.  Nodes on
+     an already-verified chain are remembered, so the whole pass is
+     O(bindings) instead of O(bindings * depth). *)
   let n = List.length parents in
+  let verified = Bytes.make (Graph.num_nodes g) '\000' in
   Imap.iter
     (fun node _ ->
-      let rec walk v steps =
-        if v = root then ()
+      let rec walk v steps path =
+        if v = root || Bytes.get verified v = '\001' then
+          List.iter (fun u -> Bytes.set verified u '\001') path
         else if steps > n then
           invalid_arg "Tree.of_parents: parent chain does not reach the root"
         else
           match Imap.find_opt v pmap with
           | None -> invalid_arg "Tree.of_parents: parent chain does not reach the root"
-          | Some (p, _) -> walk p (steps + 1)
+          | Some (p, _) -> walk p (steps + 1) (v :: path)
       in
-      walk node 0)
+      walk node 0 [])
     pmap;
   let child_map =
     Imap.fold

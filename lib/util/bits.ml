@@ -26,3 +26,85 @@ let bit x i = (x lsr i) land 1 = 1
 
 let bits_to_string ~width x =
   String.init width (fun i -> if bit x (width - 1 - i) then '1' else '0')
+
+(* ------------------------------------------------------------------ *)
+(* Fixed-width bitsets                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Bitset = struct
+  (* Bytes-backed so [equal]/[hash] are flat memory scans with no
+     per-word boxing; the service's member sets (universe = fabric
+     endpoints) stay a few dozen bytes each at million-group scale. *)
+  type t = { width : int; bits : Bytes.t }
+
+  let nbytes width = (width + 7) lsr 3
+
+  let create width =
+    if width < 0 then invalid_arg "Bits.Bitset.create: width must be >= 0";
+    { width; bits = Bytes.make (nbytes width) '\000' }
+
+  let width t = t.width
+
+  let check t i op =
+    if i < 0 || i >= t.width then
+      invalid_arg (Printf.sprintf "Bits.Bitset.%s: %d outside [0, %d)" op i t.width)
+
+  let mem t i =
+    check t i "mem";
+    Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+  let add t i =
+    check t i "add";
+    let b = i lsr 3 in
+    Bytes.unsafe_set t.bits b
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits b) lor (1 lsl (i land 7))))
+
+  let remove t i =
+    check t i "remove";
+    let b = i lsr 3 in
+    Bytes.unsafe_set t.bits b
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get t.bits b) land lnot (1 lsl (i land 7))))
+
+  let clear t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+  let copy t = { width = t.width; bits = Bytes.copy t.bits }
+
+  let equal a b = a.width = b.width && Bytes.equal a.bits b.bits
+
+  (* FNV-1a over the backing bytes: the memoization cache's bucket
+     hash.  Collisions are survivable (callers compare with [equal]);
+     the width folds in so same-pattern different-width sets split. *)
+  let hash t =
+    let h = ref 0xcbf29ce484222325L in
+    let mix c =
+      h := Int64.mul (Int64.logxor !h (Int64.of_int c)) 0x100000001b3L
+    in
+    mix (t.width land 0xff);
+    mix ((t.width lsr 8) land 0xff);
+    Bytes.iter (fun c -> mix (Char.code c)) t.bits;
+    Int64.to_int !h land max_int
+
+  let cardinal t =
+    let n = ref 0 in
+    Bytes.iter (fun c -> n := !n + popcount (Char.code c)) t.bits;
+    !n
+
+  let iter f t =
+    for b = 0 to Bytes.length t.bits - 1 do
+      let c = Char.code (Bytes.unsafe_get t.bits b) in
+      if c <> 0 then
+        for o = 0 to 7 do
+          if c land (1 lsl o) <> 0 then f ((b lsl 3) lor o)
+        done
+    done
+
+  let to_list t =
+    let acc = ref [] in
+    iter (fun i -> acc := i :: !acc) t;
+    List.rev !acc
+
+  let of_list ~width l =
+    let t = create width in
+    List.iter (fun i -> add t i) l;
+    t
+end

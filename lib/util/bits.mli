@@ -24,3 +24,46 @@ val bit : int -> int -> bool
 
 val bits_to_string : width:int -> int -> string
 (** MSB-first binary rendering, e.g. [bits_to_string ~width:3 5 = "101"]. *)
+
+(** Mutable fixed-width bitsets over a [Bytes.t] backing store.
+
+    Used by the service control plane for compact group-member sets:
+    membership deltas become single-bit flips, and set equality/hash —
+    the memoization-cache key operations — are flat byte scans instead
+    of list walks. *)
+module Bitset : sig
+  type t
+
+  val create : int -> t
+  (** [create width] is the empty set over universe [0, width). *)
+
+  val width : t -> int
+  (** Universe size the set was created with. *)
+
+  val mem : t -> int -> bool
+  val add : t -> int -> unit
+  val remove : t -> int -> unit
+
+  val clear : t -> unit
+  (** Remove every element. *)
+
+  val copy : t -> t
+  (** Independent copy (mutations don't alias). *)
+
+  val equal : t -> t -> bool
+  (** Same width and same elements. *)
+
+  val hash : t -> int
+  (** FNV-1a over width + backing bytes; non-negative. Equal sets hash
+      equal; collisions possible (pair with {!equal}). *)
+
+  val cardinal : t -> int
+
+  val iter : (int -> unit) -> t -> unit
+  (** Elements in increasing order. *)
+
+  val to_list : t -> int list
+  (** Elements in increasing order. *)
+
+  val of_list : width:int -> int list -> t
+end

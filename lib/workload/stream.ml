@@ -107,6 +107,8 @@ let create fabric rng ~tenants () =
 let live_groups s =
   Hashtbl.fold (fun gid _ acc -> gid :: acc) s.s_live [] |> List.sort compare
 
+let live_count s = Hashtbl.length s.s_live
+
 let live_members s ~gid =
   match Hashtbl.find_opt s.s_live gid with
   | None -> None

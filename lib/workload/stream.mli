@@ -77,7 +77,12 @@ val take : t -> int -> event list
 (** The next [n] events. *)
 
 val live_groups : t -> int list
-(** Currently registered group ids, ascending. *)
+(** Currently registered group ids, ascending — O(live log live); use
+    {!live_count} when only the population size is needed. *)
+
+val live_count : t -> int
+(** Number of currently live groups — O(1), safe to poll every event
+    at million-group scale. *)
 
 val live_members : t -> gid:int -> int list option
 (** The stream's own view of a live group's membership (ascending;

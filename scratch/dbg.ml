@@ -1,0 +1,19 @@
+open Peel_topology
+open Peel_workload
+open Peel_ctrl
+module Rng = Peel_util.Rng
+let () =
+  let fabric = Fabric.leaf_spine ~spines:4 ~leaves:8 ~hosts_per_leaf:4 () in
+  let tenants = [
+    Stream.tenant ~rate:4000.0 ~scale:3 ~bytes:1e6 ~hold:1e6 ~churn:5e-4 ~sends:5e-4 ();
+    Stream.tenant ~rate:100.0 ~scale:8 ~bytes:4e6 ~hold:1e6 ~churn:5e-4 ~sends:1e-3 ~fragmentation:0.25 () ] in
+  let stream = Stream.create fabric (Rng.create 4200) ~tenants () in
+  let cfg = { Service.default_config with Service.capacity = 1024 } in
+  let out = Service.run ~cfg ~jobs:1 fabric ~events:2000 stream in
+  let groups = out.Service.o_groups in
+  let tbl = Hashtbl.create 16 in
+  Group_table.iter (fun slot ->
+    let k = (Service.stage_to_string (Group_table.stage groups slot),
+             List.length (Group_table.switches groups slot)) in
+    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))) groups;
+  Hashtbl.iter (fun (st, n) c -> Printf.printf "%s sw=%d: %d\n" st n c) tbl

@@ -1,0 +1,54 @@
+open Peel_topology
+open Peel_workload
+module Service = Peel_ctrl.Service
+module Service_ref = Peel_ctrl.Service_ref
+module Rng = Peel_util.Rng
+
+let mk () =
+  let fabric = Fabric.leaf_spine ~spines:4 ~leaves:8 ~hosts_per_leaf:4 () in
+  let tenants =
+    [
+      Stream.tenant ~rate:4000.0 ~scale:3 ~bytes:1e6 ~hold:1e6 ~churn:5e-4
+        ~sends:5e-4 ();
+      Stream.tenant ~rate:100.0 ~scale:8 ~bytes:4e6 ~hold:1e6 ~churn:5e-4
+        ~sends:1e-3 ~fragmentation:0.25 ();
+    ]
+  in
+  (fabric, Stream.create fabric (Rng.create 4200) ~tenants ())
+
+let () =
+  let n = int_of_string Sys.argv.(1) in
+  let which = Sys.argv.(2) in
+  if which = "ref" then begin
+    let fabric, stream = mk () in
+    let cfg = { Service_ref.default_config with Service_ref.capacity = 1024 } in
+    let t0 = Unix.gettimeofday () in
+    let o = Service_ref.run ~cfg ~jobs:1 fabric ~events:n stream in
+    let t = Unix.gettimeofday () -. t0 in
+    Printf.printf "ref  %d ev: %.2fs %6.0f ev/s fp=%s creates=%d installs=%d evicts=%d\n"
+      n t (float_of_int n /. t) o.Service_ref.o_fingerprint
+      o.Service_ref.o_slo.Service_ref.creates o.Service_ref.o_slo.Service_ref.installs
+      o.Service_ref.o_slo.Service_ref.evictions
+  end
+  else begin
+    let fabric, stream = mk () in
+    let cfg =
+      {
+        Service.default_config with
+        Service.capacity = (try int_of_string Sys.argv.(3) with _ -> 1024);
+        use_cache = (which <> "nocache");
+        gc_space_overhead = (if which = "newgc" then Some 512 else None);
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let o = Service.run ~cfg ~jobs:1 fabric ~events:n stream in
+    let t = Unix.gettimeofday () -. t0 in
+    let st = Gc.quick_stat () in
+    Printf.printf
+      "%s %d ev: %.2fs %6.0f ev/s fp=%s creates=%d live=%d hits=%d misses=%d installs=%d evicts=%d peak_heap=%dMw\n"
+      which n t (float_of_int n /. t) o.Service.o_fingerprint
+      o.Service.o_slo.Service.creates o.Service.o_slo.Service.groups_live
+      o.Service.o_slo.Service.cache_hits o.Service.o_slo.Service.cache_misses
+      o.Service.o_slo.Service.installs o.Service.o_slo.Service.evictions
+      (st.Gc.top_heap_words / 1_000_000)
+  end

@@ -1,0 +1,15 @@
+open Peel_topology
+open Peel_workload
+module Rng = Peel_util.Rng
+let () =
+  let fabric = Fabric.leaf_spine ~spines:4 ~leaves:8 ~hosts_per_leaf:4 () in
+  let tenants = [
+    Stream.tenant ~rate:4000.0 ~scale:3 ~bytes:1e6 ~hold:1e6 ~churn:5e-4 ~sends:5e-4 ();
+    Stream.tenant ~rate:100.0 ~scale:8 ~bytes:4e6 ~hold:1e6 ~churn:5e-4 ~sends:1e-3 ~fragmentation:0.25 ();
+  ] in
+  let stream = Stream.create fabric (Rng.create 4200) ~tenants () in
+  let n = try int_of_string Sys.argv.(1) with _ -> 100000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do ignore (Stream.next stream) done;
+  let t = Unix.gettimeofday () -. t0 in
+  Printf.printf "stream only: %.3fs (%.0f ev/s) live=%d\n" t (float_of_int n /. t) (Stream.live_count stream)

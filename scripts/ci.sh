@@ -6,9 +6,10 @@
 #   3. lint    — scripts/lint.sh (static invariant battery: @check-lint,
 #                @trace-smoke, @par-smoke, @failover-smoke, @ctrl-smoke,
 #                @compile-smoke, diagnostic-code suites)
-#   4. serve   — dune build @serve-smoke (the open-loop service
-#                controller under the SVC lint battery and the
-#                1-vs-N-domain replay contract)
+#   4. serve   — dune build @serve-smoke @serve-scale-smoke (the
+#                open-loop service controller under the SVC lint
+#                battery and the 1-vs-N-domain replay contract, plus
+#                the million-group fast path at a 10^5-group cell)
 #   5. docs    — scripts/docs.sh (@doc build; when odoc is installed
 #                the rendering must be warning-free)
 #   6. bench   — scripts/bench_guard.sh (deterministic drift guard
@@ -31,7 +32,7 @@ stage() {
 stage build dune build
 stage test dune runtest
 stage lint sh scripts/lint.sh
-stage serve dune build @serve-smoke
+stage serve dune build @serve-smoke @serve-scale-smoke
 stage docs sh scripts/docs.sh
 stage bench sh scripts/bench_guard.sh
 echo "ci.sh: all stages passed"

@@ -11,8 +11,12 @@
 # proves every seeded table corruption is caught by its CMP code
 # (CMP001-005), the @zoo-smoke alias certifies generalized
 # layer-peeling on every topology-zoo class and proves each seeded
-# TOPO corruption is caught by its code (TOPO001-004), and the unit
-# suite exercises every diagnostic code. The experiment-harness
+# TOPO corruption is caught by its code (TOPO001-004), the
+# @serve-scale-smoke alias certifies the million-group service fast
+# path at a 10^5-group cell (jobs=1 vs jobs=4 vs cache-off replay
+# equality, a clean SVC001-004 state lint at scale, and a seeded
+# member-set corruption that must be diagnosed), and the unit suite
+# exercises every diagnostic code. The experiment-harness
 # suite carries the parallel-sweep determinism gate: it re-runs the
 # fig5 sweep under 1 and 4 worker domains and fails unless the rows
 # are bit-identical. The documentation gate lives in scripts/docs.sh
@@ -27,6 +31,7 @@ dune build @failover-smoke
 dune build @ctrl-smoke
 dune build @compile-smoke
 dune build @zoo-smoke
+dune build @serve-scale-smoke
 dune exec test/test_check.exe -- -c
 dune exec test/test_compile.exe -- -c
 dune exec test/test_experiments.exe -- -c

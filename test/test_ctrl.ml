@@ -536,10 +536,12 @@ let prop_service_saturation =
         match out.Service.o_tcam with
         | None -> true
         | Some tc ->
-            Hashtbl.fold
-              (fun gid (gs : Service.gstate) acc ->
+            Group_table.fold
+              (fun acc slot ->
+                let gid = Group_table.gid out.Service.o_groups slot in
                 acc
-                && (gs.Service.sg_stage <> Service.Fallback
+                && (Group_table.stage out.Service.o_groups slot
+                    <> Service.Fallback
                    || List.for_all
                         (fun (sw, _) ->
                           not (Tcam.holds tc ~switch:sw ~group:gid))
@@ -574,26 +576,29 @@ let test_service_deny_fat_tree_reclaims () =
     (strings_of (Check_service.check_state out))
 
 let find_group out ~stage =
+  let groups = out.Service.o_groups in
   let found =
-    Hashtbl.fold
-      (fun gid (gs : Service.gstate) acc ->
+    Group_table.fold
+      (fun acc slot ->
         match acc with
         | Some _ -> acc
-        | None -> if gs.Service.sg_stage = stage then Some (gid, gs) else None)
-      out.Service.o_groups None
+        | None ->
+            if Group_table.stage groups slot = stage then Some slot else None)
+      groups None
   in
   match found with
-  | Some x -> x
+  | Some slot -> (Group_table.gid groups slot, slot)
   | None -> Alcotest.fail "expected a live group in the wanted stage"
 
 let test_service_svc001_seeded_corruption () =
   let out = run_service () in
-  let gid, gs = find_group out ~stage:Service.Installed in
+  let _gid, slot = find_group out ~stage:Service.Installed in
+  let groups = out.Service.o_groups in
   (* Claim the group only ever had its source: the tree now touches
      racks that house no member. *)
-  gs.Service.sg_members <- [ gs.Service.sg_source ];
+  Group_table.set_members groups slot [ Group_table.source groups slot ];
   Alcotest.(check bool) "SVC001 diagnosed" true
-    (D.has_code "SVC001" (Check_service.check_group_cover out gid gs))
+    (D.has_code "SVC001" (Check_service.check_group_cover out slot))
 
 let test_service_svc002_silent_by_construction () =
   (* The TCAM enforces its own budget on every install path, so the
@@ -604,17 +609,19 @@ let test_service_svc002_silent_by_construction () =
 
 let test_service_svc003_seeded_corruptions () =
   let out = run_service () in
-  let gid, gs = find_group out ~stage:Service.Installed in
+  let gid, slot = find_group out ~stage:Service.Installed in
   let tc = Option.get out.Service.o_tcam in
   (* Drop one of the installed group's entries behind its back. *)
   Alcotest.(check bool) "entry removed" true
-    (Tcam.remove_at tc ~switch:(List.hd gs.Service.sg_switches) ~group:gid);
+    (Tcam.remove_at tc
+       ~switch:(List.hd (Group_table.switches out.Service.o_groups slot))
+       ~group:gid);
   Alcotest.(check bool) "missing entry diagnosed" true
     (D.has_code "SVC003" (Check_service.check_stages out));
   (* And the dual lie: a group claiming fallback while entries survive. *)
   let out2 = run_service () in
-  let _, gs2 = find_group out2 ~stage:Service.Installed in
-  gs2.Service.sg_stage <- Service.Fallback;
+  let _, slot2 = find_group out2 ~stage:Service.Installed in
+  Group_table.set_stage out2.Service.o_groups slot2 Service.Fallback;
   Alcotest.(check bool) "stale fallback entries diagnosed" true
     (D.has_code "SVC003" (Check_service.check_stages out2))
 
@@ -631,6 +638,220 @@ let test_service_svc005_replay_codes () =
   Alcotest.(check bool) "diverged fingerprints diagnosed" true
     (D.has_code "SVC005"
        (Check_service.check_replay ~first:"abc" ~second:"abd"))
+
+(* ------------------------------------------------------------------ *)
+(* Million-group fast path: arena store, victim heap, memo neutrality  *)
+(* ------------------------------------------------------------------ *)
+
+(* The arena recycles freed slots under a bumped generation, so stale
+   (slot, generation) handles never resolve to the new tenant. *)
+let test_group_table_recycles_slots () =
+  (* Borrow a real tree/switches/dist triple from a live run — the
+     arena stores them opaquely. *)
+  let out = run_service ~events:50 () in
+  let src = out.Service.o_groups in
+  let slot0 =
+    match
+      Group_table.fold
+        (fun acc s -> match acc with Some _ -> acc | None -> Some s)
+        src None
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "no live group to borrow a tree from"
+  in
+  let tree = Group_table.tree src slot0 in
+  let switches = Group_table.switches src slot0 in
+  let dist = Group_table.dist src slot0 in
+  let t = Group_table.create ~width:64 () in
+  let add gid =
+    Group_table.add t ~gid ~source:0 ~members:[ 0; 1 ] ~tree ~switches ~dist
+      ~stage:Service.Pending
+  in
+  let _s1 = add 1 in
+  let s2 = add 2 in
+  let _s3 = add 3 in
+  Alcotest.(check int) "three live" 3 (Group_table.live t);
+  let gen2 = Group_table.generation t s2 in
+  Alcotest.(check bool) "handle valid while live" true
+    (Group_table.valid t ~slot:s2 ~gen:gen2);
+  Alcotest.(check bool) "removed" true (Group_table.remove t ~gid:2);
+  Alcotest.(check bool) "remove is not idempotent" false
+    (Group_table.remove t ~gid:2);
+  Alcotest.(check int) "two live" 2 (Group_table.live t);
+  Alcotest.(check bool) "slot dead" false (Group_table.slot_live t s2);
+  Alcotest.(check bool) "stale handle invalid" false
+    (Group_table.valid t ~slot:s2 ~gen:gen2);
+  let s9 = add 9 in
+  Alcotest.(check int) "freed slot recycled" s2 s9;
+  Alcotest.(check bool) "generation bumped" true
+    (Group_table.generation t s9 > gen2);
+  Alcotest.(check bool) "old handle still invalid" false
+    (Group_table.valid t ~slot:s2 ~gen:gen2);
+  Alcotest.(check int) "slot resolves to the new gid" 9 (Group_table.gid t s9);
+  Alcotest.(check (list int)) "gids sorted" [ 1; 3; 9 ]
+    (Group_table.gids_sorted t);
+  Alcotest.(check bool) "duplicate gid rejected" true
+    (try
+       ignore (add 1);
+       false
+     with Invalid_argument _ -> true)
+
+(* The indexed-heap victim selection must pick exactly the entry the
+   old O(capacity) scan would: minimum score under the policy, ties to
+   the lowest group id — over a long random mix of installs, touches
+   and removals, with stamps coarsened so ties actually occur. *)
+let test_tcam_heap_matches_naive_scan () =
+  List.iter
+    (fun policy ->
+      let t = Tcam.create ~capacity:4 ~policy in
+      (* Naive model of one switch: (group, last_used, bytes). *)
+      let model = ref [] in
+      let mscore (_, lu, by) =
+        match policy with Tcam.Lru -> lu | Tcam.Bytes_weighted -> by
+      in
+      let state = ref 12345 in
+      let rand m =
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        !state mod m
+      in
+      for i = 1 to 3000 do
+        let now = float_of_int (i / 8) in
+        let g = rand 24 in
+        match rand 3 with
+        | 0 ->
+            let expected =
+              if List.exists (fun (g', _, _) -> g' = g) !model then []
+              else if List.length !model < 4 then []
+              else begin
+                let victim =
+                  List.fold_left
+                    (fun acc e ->
+                      match acc with
+                      | None -> Some e
+                      | Some b ->
+                          let se = mscore e and sb = mscore b in
+                          let (ge, _, _) = e and gb, _, _ = b in
+                          if se < sb || (se = sb && ge < gb) then Some e
+                          else acc)
+                    None !model
+                in
+                match victim with
+                | Some (gv, _, _) -> [ gv ]
+                | None -> assert false
+              end
+            in
+            Alcotest.(check (list int))
+              (Printf.sprintf "victims at op %d" i)
+              expected
+              (Tcam.install t ~now ~switch:0 ~group:g);
+            if not (List.exists (fun (g', _, _) -> g' = g) !model) then
+              model :=
+                (g, now, 0.0)
+                :: List.filter
+                     (fun (g', _, _) -> not (List.mem g' expected))
+                     !model
+        | 1 ->
+            let bytes = float_of_int (rand 5) *. 100.0 in
+            Tcam.touch t ~now ~switch:0 ~group:g ~bytes;
+            model :=
+              List.map
+                (fun ((g', _, by) as e) ->
+                  if g' = g then (g', now, by +. bytes) else e)
+                !model
+        | _ ->
+            Alcotest.(check bool)
+              (Printf.sprintf "removal presence at op %d" i)
+              (List.exists (fun (g', _, _) -> g' = g) !model)
+              (Tcam.remove_at t ~switch:0 ~group:g);
+            model := List.filter (fun (g', _, _) -> g' <> g) !model
+      done;
+      Alcotest.(check int)
+        (Tcam.policy_to_string policy ^ " occupancy agrees")
+        (List.length !model)
+        (Tcam.used t ~switch:0))
+    [ Tcam.Lru; Tcam.Bytes_weighted ]
+
+(* Departures of still-pending groups are O(1) tombstones in the
+   install queue, not a List.filter over the whole backlog: with the
+   flush pinned past the horizon, 10^4 pending departs complete
+   instantly, and the drain neither compiles nor leaks a departed
+   group's rules (SVC004). *)
+let test_service_departs_pending_backlog () =
+  let fabric = ls48 () in
+  let tenants =
+    [
+      Stream.tenant ~rate:2000.0 ~scale:3 ~bytes:1e5 ~hold:1e-3 ~churn:0.0
+        ~sends:0.0 ();
+    ]
+  in
+  let stream = Stream.create fabric (Rng.create 23) ~tenants () in
+  let cfg =
+    {
+      Service.default_config with
+      Service.capacity = 64;
+      batch = 1_000_000;
+      install_delay = 1e9;
+    }
+  in
+  let out = Service.run ~cfg ~jobs:1 fabric ~events:25_000 stream in
+  let s = out.Service.o_slo in
+  Alcotest.(check bool)
+    (Printf.sprintf "enough pending departs (%d)" s.Service.departs)
+    true
+    (s.Service.departs >= 10_000);
+  Alcotest.(check bool) "nothing flushed before the drain" true
+    (s.Service.batches <= 1);
+  Alcotest.(check (list string)) "state lint clean" []
+    (strings_of (Check_service.check_state out))
+
+(* Tentpole differential: the arena + shard + memo fast path must be
+   observationally identical to the PR 8 reference implementation —
+   byte-identical decision logs at jobs 1 and 4, with and without the
+   memo caches, and an SVC001-004-clean quiescent state, over random
+   seeds, capacities and both admission policies. *)
+let prop_service_matches_reference =
+  QCheck.Test.make
+    ~name:"service: fast path replays the reference bit-identically"
+    ~count:12
+    QCheck.(pair (int_range 0 1_000_000) bool)
+    (fun (seed, evict) ->
+      let fabric = ls48 () in
+      let events = 300 + (seed mod 200) in
+      let capacity = 8 + (seed mod 57) in
+      let stream () =
+        Stream.create fabric (Rng.create seed) ~tenants:service_tenants ()
+      in
+      let run_new ~use_cache ~jobs =
+        let cfg =
+          {
+            Service.default_config with
+            Service.capacity;
+            admission = (if evict then Service.Evict else Service.Deny);
+            use_cache;
+          }
+        in
+        Service.run ~cfg ~jobs fabric ~events (stream ())
+      in
+      let o1 = run_new ~use_cache:true ~jobs:1 in
+      let o4 = run_new ~use_cache:true ~jobs:4 in
+      let onc = run_new ~use_cache:false ~jobs:1 in
+      let rcfg =
+        {
+          Service_ref.default_config with
+          Service_ref.capacity;
+          admission = (if evict then Service_ref.Evict else Service_ref.Deny);
+        }
+      in
+      let oref = Service_ref.run ~cfg:rcfg ~jobs:1 fabric ~events (stream ()) in
+      let fp = o1.Service.o_fingerprint in
+      String.equal fp o4.Service.o_fingerprint
+      && String.equal fp onc.Service.o_fingerprint
+      && String.equal fp oref.Service_ref.o_fingerprint
+      && o1.Service.o_slo.Service.installs
+         = oref.Service_ref.o_slo.Service_ref.installs
+      && o1.Service.o_slo.Service.evictions
+         = oref.Service_ref.o_slo.Service_ref.evictions
+      && Check_service.check_state o4 = [])
 
 let () =
   let qt = QCheck_alcotest.to_alcotest in
@@ -706,6 +927,16 @@ let () =
             test_service_svc004_seeded_corruption;
           Alcotest.test_case "svc005 replay codes" `Quick
             test_service_svc005_replay_codes;
+        ] );
+      ( "fast-path",
+        [
+          Alcotest.test_case "arena recycles slots" `Quick
+            test_group_table_recycles_slots;
+          Alcotest.test_case "victim heap matches naive scan" `Quick
+            test_tcam_heap_matches_naive_scan;
+          Alcotest.test_case "pending departs tombstoned" `Quick
+            test_service_departs_pending_backlog;
+          qt prop_service_matches_reference;
         ] );
       ( "trace",
         [
